@@ -1,0 +1,164 @@
+// Command planaria regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	planaria [flags] <experiment>...
+//
+// Experiments: table1, table2, fig12, fig13, fig14, fig15, fig16, fig17,
+// fig18, fig19, ablation, models, all.
+//
+// Flags tune simulation fidelity; the defaults match EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"planaria/internal/dnn"
+	"planaria/internal/experiments"
+	"planaria/internal/metrics"
+	"planaria/internal/workload"
+)
+
+func main() {
+	requests := flag.Int("requests", 400, "requests per workload instance")
+	instances := flag.Int("instances", 3, "workload instances (seeds) per evaluation point")
+	seed := flag.Int64("seed", 1, "base random seed")
+	rate := flag.Float64("rate", 100, "fixed arrival rate (QPS) for fig16")
+	profile := flag.String("profile", "", "print the per-layer compiled profile of a model (e.g. -profile ResNet-50)")
+	profAlloc := flag.Int("alloc", 16, "subarray allocation for -profile")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: planaria [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *profile != "" {
+		rows, err := experiments.Profile(*profile, *profAlloc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatProfile(*profile, *profAlloc, rows))
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		a = strings.ToLower(a)
+		if a == "all" {
+			for _, e := range []string{"models", "table1", "table2", "fig12", "fig13",
+				"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation"} {
+				want[e] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+
+	start := time.Now()
+	suite, err := experiments.NewSuite()
+	if err != nil {
+		fatal(err)
+	}
+	suite.Opt = metrics.Options{Requests: *requests, Instances: *instances, Seed: *seed}
+
+	if want["models"] {
+		fmt.Println("Benchmark models")
+		for _, n := range dnn.All() {
+			fmt.Println("  " + n.Summary())
+		}
+		fmt.Println()
+	}
+	if want["table1"] {
+		fmt.Println(experiments.FormatTable1())
+	}
+	if want["table2"] {
+		cells, err := suite.Table2Sensitivity()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatTable2(cells))
+	}
+
+	needServing := want["fig12"] || want["fig13"] || want["fig14"] || want["fig15"]
+	if needServing {
+		rows, err := suite.ServingComparison()
+		if err != nil {
+			fatal(err)
+		}
+		if want["fig12"] {
+			fmt.Println(experiments.FormatFig12(rows))
+		}
+		if want["fig13"] {
+			fmt.Println(experiments.FormatFig13(rows))
+		}
+		if want["fig14"] {
+			fmt.Println(experiments.FormatFig14(rows))
+		}
+		if want["fig15"] {
+			fmt.Println(experiments.FormatFig15(rows))
+		}
+	}
+	if want["fig16"] {
+		rows, err := suite.Fig16ScaleOut(*rate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig16(rows))
+	}
+	if want["fig17"] {
+		rows, err := suite.Fig17Isolated()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig17(rows))
+	}
+	if want["fig18"] {
+		rows, err := suite.Fig18Granularity()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig18(rows))
+	}
+	if want["fig19"] {
+		fmt.Println(experiments.FormatFig19())
+	}
+	if want["ablation"] {
+		for _, sc := range workload.Scenarios() {
+			rows, err := suite.SchedulerAblation(sc)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.FormatSchedulerAblation(rows))
+		}
+		orows, err := experiments.OmniAblation()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatOmniAblation(orows))
+		grows, err := suite.ExtendedGranularity()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Extended granularity sweep (8/16/32/64):")
+		fmt.Println(experiments.FormatFig18(grows))
+		prows, err := suite.PenaltySensitivity(workload.ScenarioC(), workload.QoSMedium)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatPenaltySensitivity(workload.ScenarioC(), workload.QoSMedium, prows))
+	}
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "planaria:", err)
+	os.Exit(1)
+}

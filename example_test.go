@@ -1,0 +1,86 @@
+package planaria_test
+
+import (
+	"fmt"
+	"log"
+
+	"planaria"
+)
+
+// Example demonstrates the core flow: deploy a model and estimate an
+// isolated inference.
+func Example() {
+	acc, err := planaria.NewAccelerator(planaria.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := acc.Deploy(planaria.MustModel("MobileNet-v1")); err != nil {
+		log.Fatal(err)
+	}
+	st, err := acc.EstimateInference("MobileNet-v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MobileNet-v1 isolated latency: %.3f ms\n", st.LatencySeconds*1e3)
+	// Output:
+	// MobileNet-v1 isolated latency: 0.329 ms
+}
+
+// ExampleAccelerator_Serve simulates a small multi-tenant burst under the
+// spatial scheduler.
+func ExampleAccelerator_Serve() {
+	acc, err := planaria.NewAccelerator(planaria.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []string{"MobileNet-v1", "GoogLeNet"} {
+		if err := acc.Deploy(planaria.MustModel(m)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sc := planaria.Scenario{Name: "demo", Models: []string{"MobileNet-v1", "GoogLeNet"}}
+	reqs, err := planaria.GenerateWorkload(sc, planaria.QoSSoft, 1000, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := acc.Serve(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := 0
+	for i, f := range out.Finishes {
+		if f >= 0 && f <= reqs[i].Deadline {
+			done++
+		}
+	}
+	fmt.Printf("%d/%d requests met their deadline\n", done, len(reqs))
+	// Output:
+	// 8/8 requests met their deadline
+}
+
+// ExampleFissionShapes lists the full-chip fission configurations
+// (Table II's shape space).
+func ExampleFissionShapes() {
+	full := 0
+	for _, sh := range planaria.FissionShapes(planaria.DefaultConfig(), 16) {
+		if sh.Subarrays() == 16 {
+			full++
+		}
+	}
+	fmt.Printf("full-chip configurations: %d\n", full)
+	// Output:
+	// full-chip configurations: 15
+}
+
+// ExampleBestLayerShape shows the compiler's per-layer configuration
+// choice for a depthwise convolution.
+func ExampleBestLayerShape() {
+	l := &planaria.Layer{
+		Kind: planaria.DWConv, InH: 56, InW: 56, InC: 128, OutC: 128,
+		OutH: 56, OutW: 56, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}
+	ev := planaria.BestLayerShape(l, planaria.DefaultConfig(), 16)
+	fmt.Printf("depthwise layer compiles to %s\n", ev.Shape.String())
+	// Output:
+	// depthwise layer compiles to (32x32)-16
+}

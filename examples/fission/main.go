@@ -1,0 +1,86 @@
+// Fission: explore the fission configuration space for two contrasting
+// layers — a dense ResNet convolution and a MobileNet depthwise
+// convolution — showing why one compiles to a chained omni-directional
+// shape and the other to 16 independent clusters (the paper's Fig 3 and
+// Table II intuition).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planaria"
+)
+
+func main() {
+	cfg := planaria.DefaultConfig()
+
+	dense := &planaria.Layer{
+		Name: "resnet_conv4", Kind: planaria.Conv,
+		InH: 14, InW: 14, InC: 1024, OutC: 256,
+		OutH: 14, OutW: 14, KH: 1, KW: 1, Stride: 1,
+	}
+	dw := &planaria.Layer{
+		Name: "mobilenet_dw", Kind: planaria.DWConv,
+		InH: 56, InW: 56, InC: 128, OutC: 128,
+		OutH: 56, OutW: 56, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}
+
+	for _, l := range []*planaria.Layer{dense, dw} {
+		fmt.Printf("layer %s (%s)\n", l.Name, l.Kind)
+		fmt.Printf("%-14s %10s %8s %8s %6s\n", "shape", "cycles", "util", "energy", "omni")
+		best := planaria.BestLayerShape(l, cfg, 16)
+		// Show the full-chip shapes (Table II's 15 configurations).
+		for _, sh := range planaria.FissionShapes(cfg, 16) {
+			if sh.Subarrays() != 16 {
+				continue
+			}
+			ev := planaria.EvaluateLayer(l, sh, cfg, 16)
+			mark := "  "
+			if ev.Shape == best.Shape {
+				mark = "<-- compiler's choice"
+			}
+			omni := ""
+			if ev.OmniDirectional {
+				omni = "yes"
+			}
+			fmt.Printf("%-14s %10d %7.1f%% %7.2fuJ %6s %s\n",
+				sh.String(), ev.Cycles, ev.Util*100, ev.EnergyJ*1e6, omni, mark)
+		}
+		if bestIsNonCanonical(cfg, best) {
+			ev := best
+			fmt.Printf("%-14s %10d %7.1f%% %7.2fuJ %6s %s\n",
+				ev.Shape.String(), ev.Cycles, ev.Util*100, ev.EnergyJ*1e6, "", "<-- compiler's choice (partial occupancy)")
+		}
+		fmt.Println()
+	}
+
+	// Demonstrate the end of the story: a whole MobileNet-v1 on Planaria
+	// vs the monolithic design.
+	acc, err := planaria.NewAccelerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := planaria.NewBaselineAccelerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := planaria.MustModel("MobileNet-v1")
+	if err := acc.Deploy(net); err != nil {
+		log.Fatal(err)
+	}
+	if err := base.Deploy(net); err != nil {
+		log.Fatal(err)
+	}
+	p, _ := acc.EstimateInference("MobileNet-v1")
+	m, _ := base.EstimateInference("MobileNet-v1")
+	fmt.Printf("MobileNet-v1 end to end: %.3f ms fissioned vs %.3f ms monolithic (%.1fx)\n",
+		p.LatencySeconds*1e3, m.LatencySeconds*1e3, m.LatencySeconds/p.LatencySeconds)
+}
+
+// bestIsNonCanonical reports whether the compiler chose a shape outside
+// the 15 full-occupancy configurations (fewer clusters can win on energy
+// when a layer lacks parallelism to fill the chip).
+func bestIsNonCanonical(cfg planaria.Config, ev planaria.LayerEval) bool {
+	return ev.Shape.Subarrays() != cfg.NumSubarrays()
+}

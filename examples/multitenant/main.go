@@ -1,0 +1,77 @@
+// Multitenant: drive the mixed Workload-C scenario through both the
+// Planaria spatial scheduler and the PREMA temporal baseline at the same
+// arrival rate, and print the per-request outcome side by side — the
+// workload the paper's serving evaluation (Fig 12–15) is built on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planaria"
+)
+
+func main() {
+	cfg := planaria.DefaultConfig()
+	fmt.Println("hardware:", cfg.String())
+
+	spatial, err := planaria.NewAccelerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temporal, err := planaria.NewBaselineAccelerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range planaria.ModelNames() {
+		if err := spatial.Deploy(planaria.MustModel(m)); err != nil {
+			log.Fatal(err)
+		}
+		if err := temporal.Deploy(planaria.MustModel(m)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sc := planaria.Scenarios()[2] // Workload-C: all nine models
+	const qps = 60
+	reqs, err := planaria.GenerateWorkload(sc, planaria.QoSMedium, qps, 24, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	outS, err := spatial.Serve(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outT, err := temporal.Serve(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%s at %d QPS, QoS-M — per-request latency (ms):\n", sc.Name, qps)
+	fmt.Printf("%3s %-16s %4s %9s %10s %10s %6s %6s\n",
+		"id", "model", "prio", "bound", "planaria", "prema", "ok-P", "ok-T")
+	for i, r := range reqs {
+		ls := outS.Latency[i] * 1e3
+		lt := outT.Latency[i] * 1e3
+		okS, okT := " ok", " ok"
+		if outS.Finishes[i] > r.Deadline {
+			okS = "MISS"
+		}
+		if outT.Finishes[i] > r.Deadline {
+			okT = "MISS"
+		}
+		fmt.Printf("%3d %-16s %4d %8.1f %10.2f %10.2f %6s %6s\n",
+			r.ID, r.Model, r.Priority, r.QoS*1e3, ls, lt, okS, okT)
+	}
+	fmt.Printf("\nsummary: fairness %.3f vs %.3f | energy %.2f J vs %.2f J | preemptions %d vs %d\n",
+		outS.Fairness, outT.Fairness, outS.EnergyJ, outT.EnergyJ,
+		outS.Preemptions, outT.Preemptions)
+
+	stats, err := planaria.LatencyBreakdown(reqs, outS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPlanaria per-model latency breakdown:")
+	fmt.Print(planaria.FormatLatencyBreakdown(stats))
+}

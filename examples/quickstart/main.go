@@ -1,0 +1,76 @@
+// Quickstart: deploy two benchmark models on a Planaria accelerator,
+// estimate their isolated latency/energy, and serve a small multi-tenant
+// burst, comparing against the PREMA-style monolithic baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planaria"
+)
+
+func main() {
+	// A Planaria node: 128×128 PEs fissionable into 16 subarrays.
+	acc, err := planaria.NewAccelerator(planaria.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The PREMA-style baseline: same resources, monolithic, temporal
+	// multi-tenancy.
+	base, err := planaria.NewBaselineAccelerator(planaria.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	models := []string{"ResNet-50", "MobileNet-v1"}
+	for _, m := range models {
+		if err := acc.Deploy(planaria.MustModel(m)); err != nil {
+			log.Fatal(err)
+		}
+		if err := base.Deploy(planaria.MustModel(m)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("Isolated single-inference estimates:")
+	fmt.Printf("%-14s %16s %16s %10s\n", "model", "planaria", "monolithic", "speedup")
+	for _, m := range models {
+		p, err := acc.EstimateInference(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := base.EstimateInference(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %13.3f ms %13.3f ms %9.2fx\n",
+			m, p.LatencySeconds*1e3, b.LatencySeconds*1e3,
+			b.LatencySeconds/p.LatencySeconds)
+	}
+
+	// Serve a bursty multi-tenant workload on both systems.
+	sc := planaria.Scenario{Name: "demo", Models: models}
+	reqs, err := planaria.GenerateWorkload(sc, planaria.QoSMedium, 500, 40, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nServing %d requests at 500 QPS (QoS-M):\n", len(reqs))
+	for _, node := range []struct {
+		name string
+		acc  *planaria.Accelerator
+	}{{"Planaria (spatial)", acc}, {"Monolithic (temporal)", base}} {
+		out, err := node.acc.Serve(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		onTime := 0
+		for i, f := range out.Finishes {
+			if f >= 0 && f <= reqs[i].Deadline {
+				onTime++
+			}
+		}
+		fmt.Printf("  %-22s on-time %2d/%d  fairness %.3f  energy %.3f J  makespan %.1f ms\n",
+			node.name, onTime, len(reqs), out.Fairness, out.EnergyJ, out.Makespan*1e3)
+	}
+}

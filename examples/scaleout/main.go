@@ -1,0 +1,57 @@
+// Scaleout: size a Planaria cluster — find the minimum number of nodes
+// that keeps the MLPerf server SLA at growing arrival rates (the paper's
+// Fig 16 methodology), and show a traced single-node timeline at the
+// point where one node starts missing deadlines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planaria"
+)
+
+func main() {
+	acc, err := planaria.NewAccelerator(planaria.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range planaria.ModelNames() {
+		if err := acc.Deploy(planaria.MustModel(m)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opt := planaria.EvalOptions{Requests: 200, Instances: 2, Seed: 9}
+	sc := planaria.Scenarios()[2] // Workload-C
+
+	fmt.Printf("Minimum Planaria nodes for the %s SLA:\n", sc.Name)
+	fmt.Printf("%10s %8s %8s %8s\n", "rate(qps)", "QoS-S", "QoS-M", "QoS-H")
+	for _, rate := range []float64{50, 100, 200, 400} {
+		fmt.Printf("%10.0f", rate)
+		for _, lvl := range []planaria.QoSLevel{planaria.QoSSoft, planaria.QoSMedium, planaria.QoSHard} {
+			n, err := acc.MinNodes(sc, lvl, rate, 12, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if n > 12 {
+				fmt.Printf("%8s", ">12")
+			} else {
+				fmt.Printf("%8d", n)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Zoom into one overloaded single-node run: the scheduler's
+	// allocation decisions over time.
+	reqs, err := planaria.GenerateWorkload(sc, planaria.QoSHard, 300, 12, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, tr, err := acc.ServeTraced(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSingle-node timeline under load (12 requests at 300 QPS, QoS-H):")
+	fmt.Print(tr.String())
+}

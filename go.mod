@@ -1,0 +1,3 @@
+module planaria
+
+go 1.22

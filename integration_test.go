@@ -1,0 +1,246 @@
+package planaria
+
+// Integration tests exercising the whole pipeline — models → compiler →
+// schedulers → serving simulator → metrics — through the public API with
+// the real benchmark networks.
+
+import (
+	"testing"
+)
+
+// deployAll returns spatial and temporal accelerators with every
+// benchmark model deployed. Compilation is cached process-wide, so this
+// is cheap after the first call.
+func deployAll(t testing.TB) (*Accelerator, *Accelerator) {
+	t.Helper()
+	spatial, err := NewAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	temporal, err := NewBaselineAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ModelNames() {
+		if err := spatial.Deploy(MustModel(m)); err != nil {
+			t.Fatal(err)
+		}
+		if err := temporal.Deploy(MustModel(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return spatial, temporal
+}
+
+func TestIntegrationServeAllModels(t *testing.T) {
+	spatial, temporal := deployAll(t)
+	reqs, err := GenerateWorkload(Scenarios()[2], QoSMedium, 80, 60, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range []*Accelerator{spatial, temporal} {
+		out, err := acc.Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range out.Finishes {
+			if f < reqs[i].Arrival {
+				t.Fatalf("request %d finished at %g before arriving at %g", i, f, reqs[i].Arrival)
+			}
+		}
+		if out.BusyTime <= 0 || out.BusyTime > out.Makespan+1e-9 {
+			t.Fatalf("busy time %g outside (0, makespan %g]", out.BusyTime, out.Makespan)
+		}
+	}
+}
+
+func TestIntegrationSpatialDominatesTemporalLatency(t *testing.T) {
+	// Work conservation and co-location: under identical load the spatial
+	// scheduler's mean latency must not exceed the temporal baseline's on
+	// the depthwise workload (where fission also speeds up each task).
+	spatial, temporal := deployAll(t)
+	reqs, err := GenerateWorkload(Scenarios()[1], QoSSoft, 150, 80, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := spatial.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := temporal.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(ls []float64) float64 {
+		var s float64
+		for _, l := range ls {
+			s += l
+		}
+		return s / float64(len(ls))
+	}
+	if ms, mt := meanOf(so.Latency), meanOf(to.Latency); ms > mt {
+		t.Fatalf("spatial mean latency %.3g ms above temporal %.3g ms on Workload-B",
+			ms*1e3, mt*1e3)
+	}
+}
+
+func TestIntegrationTraceConsistentWithOutcome(t *testing.T) {
+	spatial, _ := deployAll(t)
+	reqs, err := GenerateWorkload(Scenarios()[0], QoSMedium, 60, 25, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, tr, err := spatial.ServeTraced(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every request appears in the trace and its finish event matches the
+	// outcome's finish time.
+	finishAt := map[int]float64{}
+	for _, e := range tr.Events {
+		if e.Kind == 2 { // EvFinish
+			finishAt[e.Task] = e.Time
+		}
+	}
+	for i, r := range reqs {
+		got, ok := finishAt[r.ID]
+		if !ok {
+			t.Fatalf("request %d missing finish event", r.ID)
+		}
+		if got != out.Finishes[i] {
+			t.Fatalf("request %d trace finish %g != outcome %g", r.ID, got, out.Finishes[i])
+		}
+	}
+}
+
+func TestIntegrationThroughputAndSLA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput search")
+	}
+	spatial, _ := deployAll(t)
+	opt := EvalOptions{Requests: 120, Instances: 2, Seed: 3}
+	sc := Scenario{Name: "light", Models: []string{"MobileNet-v1", "Tiny YOLO"}}
+	tp, err := spatial.Throughput(sc, QoSHard, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp <= 0 {
+		t.Fatal("no sustainable throughput on a light scenario")
+	}
+	rate, err := spatial.SLARate(sc, QoSHard, tp*0.5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.5 {
+		t.Fatalf("SLA rate %.2f at half the sustainable throughput", rate)
+	}
+}
+
+func TestIntegrationMinNodesScalesWithRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-out search")
+	}
+	spatial, _ := deployAll(t)
+	opt := EvalOptions{Requests: 150, Instances: 2, Seed: 5}
+	sc := Scenarios()[0] // Workload-A
+	n1, err := spatial.MinNodes(sc, QoSHard, 10, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := spatial.MinNodes(sc, QoSHard, 80, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 < n1 {
+		t.Fatalf("8x the rate needs fewer nodes (%d < %d)", n2, n1)
+	}
+	if n1 < 1 {
+		t.Fatalf("n1 = %d", n1)
+	}
+}
+
+func TestIntegrationLayerEvalAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	l := &Layer{Kind: DWConv, InH: 28, InW: 28, InC: 64, OutC: 64,
+		OutH: 28, OutW: 28, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	best := BestLayerShape(l, cfg, 16)
+	if best.Cycles <= 0 || best.EnergyJ <= 0 {
+		t.Fatalf("degenerate eval %+v", best)
+	}
+	if best.Shape.Clusters < 8 {
+		t.Errorf("depthwise best shape %v should be highly clustered", best.Shape)
+	}
+	// Evaluating the best shape explicitly reproduces the same cycles.
+	ev := EvaluateLayer(l, best.Shape, cfg, 16)
+	if ev.Cycles != best.Cycles {
+		t.Fatalf("EvaluateLayer %d cycles != BestLayerShape %d", ev.Cycles, best.Cycles)
+	}
+}
+
+func TestIntegrationRunFunctionalFacade(t *testing.T) {
+	b := NewBuilder("itoy", "classification", 10, 10, 2)
+	b.Conv("c1", 4, 3, 1)
+	b.Pool("p", 2, 2)
+	b.GlobalPool("g")
+	b.FC("fc", 3)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ArrayRows, cfg.ArrayCols = 16, 16
+	cfg.SubRows, cfg.SubCols = 4, 4
+	cfg.Pods = 4
+	res, err := RunFunctional(net, cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MatchesReference {
+		t.Fatal("functional execution diverged from the reference")
+	}
+	if res.SystolicCycles <= 0 || res.TilesRun <= 0 || res.InstructionsRetired <= 0 {
+		t.Fatalf("degenerate functional result %+v", res)
+	}
+	if len(res.Output) != 3 {
+		t.Fatalf("output length %d, want 3", len(res.Output))
+	}
+}
+
+func TestIntegrationRunFunctionalRejectsRecurrent(t *testing.T) {
+	b := NewBuilder("rec", "translation", 1, 1, 4)
+	b.MatMul("m", 1, 4, 4, 3)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFunctional(net, DefaultConfig(), 1); err == nil {
+		t.Fatal("recurrent network accepted by functional backend")
+	}
+}
+
+func TestIntegrationDeterministicServing(t *testing.T) {
+	spatial, _ := deployAll(t)
+	reqs, err := GenerateWorkload(Scenarios()[2], QoSHard, 120, 40, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := spatial.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spatial.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Finishes {
+		if a.Finishes[i] != b.Finishes[i] {
+			t.Fatalf("nondeterministic serving at request %d", i)
+		}
+	}
+	if a.EnergyJ != b.EnergyJ || a.Fairness != b.Fairness {
+		t.Fatal("nondeterministic metrics")
+	}
+}

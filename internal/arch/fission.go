@@ -1,0 +1,141 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Shape describes one fission configuration of a logical accelerator:
+// Clusters independent systolic clusters, each an H×W arrangement of
+// subarrays acting as a single logical systolic array of
+// (H·SubRows)×(W·SubCols) PEs. For the 16-subarray chip this space
+// contains exactly the 15 configurations of the paper's Table II.
+type Shape struct {
+	Clusters int
+	H, W     int // in subarray units
+}
+
+// Subarrays returns the number of subarrays the shape occupies.
+func (s Shape) Subarrays() int { return s.Clusters * s.H * s.W }
+
+// PERows and PECols return the PE dimensions of one cluster.
+func (s Shape) PERows(c Config) int { return s.H * c.SubRows }
+func (s Shape) PECols(c Config) int { return s.W * c.SubCols }
+
+// UsesOmniDirectional reports whether realizing the shape requires the
+// omni-directional systolic feature: a cluster whose logical row or
+// column span exceeds the physical pod grid side must fold its dataflow
+// (serpentine chaining over the ring bus, Fig 4), reversing the flow
+// direction in alternating subarrays. For the 4×4 subarray grid this
+// reproduces Table II's OD-SA Used/Unused labelling exactly.
+func (s Shape) UsesOmniDirectional(c Config) bool {
+	side := gridSide(c)
+	return s.H > side || s.W > side
+}
+
+// gridSide returns the side of the (assumed square) physical subarray grid.
+func gridSide(c Config) int {
+	return c.ArrayRows / c.SubRows
+}
+
+// String renders the shape in the paper's Table II notation,
+// e.g. "(256x64)-1" for one 256×64-PE cluster.
+func (s Shape) String() string {
+	return fmt.Sprintf("(%dx%d)-%d", s.H*32, s.W*32, s.Clusters)
+}
+
+// Label renders the shape with explicit PE dims for a configuration.
+func (s Shape) Label(c Config) string {
+	return fmt.Sprintf("(%dx%d)-%d", s.PERows(c), s.PECols(c), s.Clusters)
+}
+
+// Valid reports whether the shape is realizable on the configuration:
+// power-of-two subarray extents that fit within the chip.
+func (s Shape) Valid(c Config) bool {
+	n := c.NumSubarrays()
+	return s.Clusters >= 1 && s.H >= 1 && s.W >= 1 &&
+		isPow2(s.H) && isPow2(s.W) &&
+		s.H*s.W <= n && s.Subarrays() <= n
+}
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// EnumerateShapes returns every fission shape available to a logical
+// accelerator granted s subarrays: all power-of-two cluster extents
+// (h, w) with h·w ≤ s, at every cluster count from 1 to floor(s/(h·w)).
+// Fewer-than-maximal clusters matter because each cluster claims its own
+// Pod Memory share — a layer whose activations barely fit may prefer two
+// big shares over three small ones. Enumerating all counts also makes the
+// shape set for s+1 a superset of the set for s, so compiled latency is
+// monotone in the allocation. Shapes are returned in a deterministic
+// order (largest clusters first, then by H, then W).
+func EnumerateShapes(c Config, s int) []Shape {
+	n := c.NumSubarrays()
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		return nil
+	}
+	var shapes []Shape
+	for h := 1; h <= n; h *= 2 {
+		for w := 1; w <= n; w *= 2 {
+			if h*w > s {
+				continue
+			}
+			for g := 1; g <= s/(h*w); g++ {
+				shapes = append(shapes, Shape{Clusters: g, H: h, W: w})
+			}
+		}
+	}
+	sort.Slice(shapes, func(i, j int) bool {
+		if shapes[i].Clusters != shapes[j].Clusters {
+			return shapes[i].Clusters > shapes[j].Clusters
+		}
+		if shapes[i].H != shapes[j].H {
+			return shapes[i].H < shapes[j].H
+		}
+		return shapes[i].W < shapes[j].W
+	})
+	return shapes
+}
+
+// MonolithicShape returns the single shape available to a conventional
+// (non-fissionable) accelerator: one cluster spanning the whole array.
+func MonolithicShape(c Config) Shape {
+	return Shape{Clusters: 1, H: c.ArrayRows / c.SubRows, W: c.ArrayCols / c.SubCols}
+}
+
+// EnumerateChipScenarios returns the chip-level co-location scenarios:
+// the unordered partitions of the chip's subarrays into logical
+// accelerator sizes. Each scenario is a non-increasing list of sizes
+// summing to NumSubarrays.
+//
+// For the 16-subarray chip this enumeration yields 231 partitions; the
+// paper reports 65 scenarios, reflecting placement constraints of the
+// physical ring-bus floorplan that the paper does not fully specify.
+// The scheduler does not depend on this count — it allocates integer
+// subarray counts, all of which are realizable.
+func EnumerateChipScenarios(c Config) [][]int {
+	n := c.NumSubarrays()
+	var out [][]int
+	var cur []int
+	var rec func(remaining, maxPart int)
+	rec = func(remaining, maxPart int) {
+		if remaining == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		limit := maxPart
+		if remaining < limit {
+			limit = remaining
+		}
+		for p := limit; p >= 1; p-- {
+			cur = append(cur, p)
+			rec(remaining-p, p)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(n, n)
+	return out
+}

@@ -1,0 +1,175 @@
+package arch
+
+import "fmt"
+
+// PodMemory models one Fission Pod's shared memory substrate (§IV-B):
+// the activation and output buffers relocated from the monolithic
+// design's edges into the pod, split into banks, and connected to the
+// pod's subarrays through the two 4×4 crossbars. The allocator hands
+// banks to logical accelerators; the compiler's per-cluster buffer share
+// (model.actShare) corresponds to the banks a cluster can claim here.
+type PodMemory struct {
+	// Banks is the number of independently assignable banks per buffer.
+	Banks int
+	// BankBytes is the capacity of one bank.
+	BankBytes int64
+	// actOwner/outOwner track bank ownership (-1 = free).
+	actOwner []int
+	outOwner []int
+}
+
+// NewPodMemory splits a pod's memory into banks. The evaluated
+// configuration gives each pod (6 MB activation + 2 MB output)/4 pods,
+// split into one bank per subarray by default.
+func NewPodMemory(cfg Config) *PodMemory {
+	banks := cfg.SubarraysPerPod()
+	p := &PodMemory{
+		Banks:     banks,
+		BankBytes: cfg.PodMemBytes() / int64(banks),
+		actOwner:  make([]int, banks),
+		outOwner:  make([]int, banks),
+	}
+	for i := 0; i < banks; i++ {
+		p.actOwner[i] = -1
+		p.outOwner[i] = -1
+	}
+	return p
+}
+
+// FreeActBanks returns the number of unowned activation banks.
+func (p *PodMemory) FreeActBanks() int { return countFree(p.actOwner) }
+
+// FreeOutBanks returns the number of unowned output banks.
+func (p *PodMemory) FreeOutBanks() int { return countFree(p.outOwner) }
+
+func countFree(owner []int) int {
+	n := 0
+	for _, o := range owner {
+		if o == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Claim assigns n activation banks and n output banks to owner,
+// returning the claimed activation capacity. It fails without side
+// effects when the pod cannot satisfy the request.
+func (p *PodMemory) Claim(owner, n int) (int64, error) {
+	if owner < 0 {
+		return 0, fmt.Errorf("arch: pod memory owner must be non-negative")
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("arch: pod memory claim of %d banks", n)
+	}
+	if p.FreeActBanks() < n || p.FreeOutBanks() < n {
+		return 0, fmt.Errorf("arch: pod memory has %d/%d free act/out banks, need %d",
+			p.FreeActBanks(), p.FreeOutBanks(), n)
+	}
+	claimed := 0
+	for i := 0; i < p.Banks && claimed < n; i++ {
+		if p.actOwner[i] == -1 {
+			p.actOwner[i] = owner
+			claimed++
+		}
+	}
+	claimed = 0
+	for i := 0; i < p.Banks && claimed < n; i++ {
+		if p.outOwner[i] == -1 {
+			p.outOwner[i] = owner
+			claimed++
+		}
+	}
+	return int64(n) * p.BankBytes, nil
+}
+
+// Release frees every bank held by owner.
+func (p *PodMemory) Release(owner int) {
+	for i := range p.actOwner {
+		if p.actOwner[i] == owner {
+			p.actOwner[i] = -1
+		}
+	}
+	for i := range p.outOwner {
+		if p.outOwner[i] == owner {
+			p.outOwner[i] = -1
+		}
+	}
+}
+
+// CrossbarSelect derives the pod-memory crossbar register (PodMemConfig)
+// for a pod whose activation banks 0..1 and output banks 0..1 feed the
+// given subarray ports. Ports are pod-local subarray indices.
+func CrossbarSelect(actPorts, outPorts [2]int) (PodMemConfig, error) {
+	var c PodMemConfig
+	for i, p := range actPorts {
+		if p < 0 || p > 3 {
+			return c, fmt.Errorf("arch: crossbar act port %d out of range", p)
+		}
+		c.ActPort[i] = uint8(p)
+	}
+	for i, p := range outPorts {
+		if p < 0 || p > 3 {
+			return c, fmt.Errorf("arch: crossbar out port %d out of range", p)
+		}
+		c.OutPort[i] = uint8(p)
+	}
+	return c, nil
+}
+
+// PodSet is the chip's four pod memories plus a bank-level view of a
+// logical accelerator's claim across pods (a logical accelerator may span
+// parts of several pods, §IV-C).
+type PodSet struct {
+	cfg  Config
+	Pods []*PodMemory
+}
+
+// NewPodSet builds the chip's pod memories.
+func NewPodSet(cfg Config) *PodSet {
+	ps := &PodSet{cfg: cfg}
+	for i := 0; i < cfg.Pods; i++ {
+		ps.Pods = append(ps.Pods, NewPodMemory(cfg))
+	}
+	return ps
+}
+
+// ClaimForSubarrays claims one activation and one output bank for each
+// subarray index in idx (banks live in the subarray's pod). Fails —
+// releasing any partial claim — if a pod is exhausted.
+func (ps *PodSet) ClaimForSubarrays(owner int, idx []int) (int64, error) {
+	perPod := ps.cfg.SubarraysPerPod()
+	need := make(map[int]int)
+	for _, i := range idx {
+		if i < 0 || i >= ps.cfg.NumSubarrays() {
+			return 0, fmt.Errorf("arch: subarray %d out of range", i)
+		}
+		need[i/perPod]++
+	}
+	var total int64
+	for pod, n := range need {
+		got, err := ps.Pods[pod].Claim(owner, n)
+		if err != nil {
+			ps.Release(owner)
+			return 0, fmt.Errorf("arch: pod %d: %w", pod, err)
+		}
+		total += got
+	}
+	return total, nil
+}
+
+// Release frees the owner's banks across all pods.
+func (ps *PodSet) Release(owner int) {
+	for _, p := range ps.Pods {
+		p.Release(owner)
+	}
+}
+
+// FreeBanks returns the chip-wide free activation-bank count.
+func (ps *PodSet) FreeBanks() int {
+	n := 0
+	for _, p := range ps.Pods {
+		n += p.FreeActBanks()
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+package arch
+
+import "fmt"
+
+// SubarrayConfig is the per-subarray reconfiguration state the paper
+// describes in §IV-C: two direction bits (input-activation flow and
+// partial-sum flow) and four neighbor-link enables, packed into six bits.
+// Each subarray holds two such registers — the active state and a
+// pre-loaded next state — so reconfiguration takes effect at a tile
+// boundary without stalling.
+type SubarrayConfig struct {
+	// ActReverse flips input-activation flow from the default
+	// left-to-right to right-to-left (omni-directional feature).
+	ActReverse bool
+	// PsumReverse flips partial-sum flow from the default top-to-bottom
+	// to bottom-to-top.
+	PsumReverse bool
+	// LinkN/E/S/W enable the inter-subarray links to the four neighbors
+	// (via ring-bus segments); a disabled link is a fission boundary.
+	LinkN, LinkE, LinkS, LinkW bool
+}
+
+// Pack encodes the configuration into its 6-bit hardware representation.
+func (s SubarrayConfig) Pack() uint8 {
+	var b uint8
+	if s.ActReverse {
+		b |= 1 << 0
+	}
+	if s.PsumReverse {
+		b |= 1 << 1
+	}
+	if s.LinkN {
+		b |= 1 << 2
+	}
+	if s.LinkE {
+		b |= 1 << 3
+	}
+	if s.LinkS {
+		b |= 1 << 4
+	}
+	if s.LinkW {
+		b |= 1 << 5
+	}
+	return b
+}
+
+// UnpackSubarrayConfig decodes a 6-bit register value.
+func UnpackSubarrayConfig(b uint8) SubarrayConfig {
+	return SubarrayConfig{
+		ActReverse:  b&(1<<0) != 0,
+		PsumReverse: b&(1<<1) != 0,
+		LinkN:       b&(1<<2) != 0,
+		LinkE:       b&(1<<3) != 0,
+		LinkS:       b&(1<<4) != 0,
+		LinkW:       b&(1<<5) != 0,
+	}
+}
+
+// PodMemConfig is the per-pod 8-bit register selecting which subarray each
+// of the pod's activation-buffer and output-buffer crossbar ports connects
+// to (§IV-C: "another eight bits determine the connectivity of the Pod
+// Memory buffers to the subarrays").
+type PodMemConfig struct {
+	// ActPort[i] is the subarray index (0..3 within the pod) that
+	// activation buffer i feeds through the read crossbar.
+	ActPort [2]uint8
+	// OutPort[i] is the subarray index that output buffer i drains
+	// through the write crossbar.
+	OutPort [2]uint8
+}
+
+// Pack encodes the pod-memory crossbar selection into eight bits.
+func (p PodMemConfig) Pack() uint8 {
+	return (p.ActPort[0] & 3) | (p.ActPort[1]&3)<<2 |
+		(p.OutPort[0]&3)<<4 | (p.OutPort[1]&3)<<6
+}
+
+// UnpackPodMemConfig decodes an 8-bit pod-memory register value.
+func UnpackPodMemConfig(b uint8) PodMemConfig {
+	return PodMemConfig{
+		ActPort: [2]uint8{b & 3, (b >> 2) & 3},
+		OutPort: [2]uint8{(b >> 4) & 3, (b >> 6) & 3},
+	}
+}
+
+// ChipState tracks the double-buffered reconfiguration registers for the
+// whole chip and which logical accelerator currently owns each subarray.
+type ChipState struct {
+	cfg     Config
+	Current []SubarrayConfig
+	Next    []SubarrayConfig
+	// Owner[i] is the task/accelerator id owning subarray i, or -1.
+	Owner []int
+}
+
+// NewChipState returns a chip with all links down and no owners.
+func NewChipState(cfg Config) *ChipState {
+	n := cfg.NumSubarrays()
+	st := &ChipState{
+		cfg:     cfg,
+		Current: make([]SubarrayConfig, n),
+		Next:    make([]SubarrayConfig, n),
+		Owner:   make([]int, n),
+	}
+	for i := range st.Owner {
+		st.Owner[i] = -1
+	}
+	return st
+}
+
+// StageShape programs the Next registers of count subarrays starting at
+// subarray index base to realize the given shape for owner id. It returns
+// an error if any targeted subarray is staged for a different owner in
+// the same staging round (overlapping allocation).
+func (s *ChipState) StageShape(base int, shape Shape, owner int) error {
+	need := shape.Subarrays()
+	if base < 0 || base+need > len(s.Next) {
+		return fmt.Errorf("arch: shape %v needs subarrays [%d,%d), chip has %d",
+			shape, base, base+need, len(s.Next))
+	}
+	// Within a cluster, chain subarrays in serpentine order: alternate
+	// activation direction per logical row so the ring bus carries the
+	// stream between row ends (the omni-directional pattern of Fig 4).
+	idx := base
+	for g := 0; g < shape.Clusters; g++ {
+		for h := 0; h < shape.H; h++ {
+			for w := 0; w < shape.W; w++ {
+				c := SubarrayConfig{
+					ActReverse: h%2 == 1,
+					LinkE:      w < shape.W-1,
+					LinkW:      w > 0,
+					LinkS:      h < shape.H-1,
+					LinkN:      h > 0,
+				}
+				s.Next[idx] = c
+				s.Owner[idx] = owner
+				idx++
+			}
+		}
+	}
+	return nil
+}
+
+// Commit swaps the staged configuration into the active registers,
+// modelling the tile-boundary configuration swap.
+func (s *ChipState) Commit() {
+	copy(s.Current, s.Next)
+}
+
+// OwnedBy returns the subarray indices currently owned by owner.
+func (s *ChipState) OwnedBy(owner int) []int {
+	var idx []int
+	for i, o := range s.Owner {
+		if o == owner {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Release clears ownership of all subarrays held by owner.
+func (s *ChipState) Release(owner int) {
+	for i, o := range s.Owner {
+		if o == owner {
+			s.Owner[i] = -1
+			s.Next[i] = SubarrayConfig{}
+		}
+	}
+}
+
+// FreeCount returns the number of unowned subarrays.
+func (s *ChipState) FreeCount() int {
+	n := 0
+	for _, o := range s.Owner {
+		if o == -1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package arch
+
+import "fmt"
+
+// Placement maps one logical accelerator's fission shape onto physical
+// subarrays and carries the per-subarray configuration bits that realize
+// it (direction + link enables, §IV-C). Produced by Route and validated
+// by Placement.Validate — the structural counterpart of the functional
+// grid simulator: together they show the mux network can actually route
+// every shape the compiler emits.
+type Placement struct {
+	Shape Shape
+	// Subarrays lists the physical subarray indices used, in logical
+	// order: cluster-major, then row-major within the cluster.
+	Subarrays []int
+	// Configs[i] is the configuration of Subarrays[i].
+	Configs []SubarrayConfig
+}
+
+// Route places a shape onto count physical subarrays starting at base
+// (linear index into the chip's subarray list) and derives each
+// subarray's 6-bit configuration. Within a cluster, logical rows chain
+// horizontally with the activation flow serpentining (alternating
+// direction per row) so the ring bus carries the stream between row ends
+// — the omni-directional pattern of Fig 4. Vertical links chain partial
+// sums between logical rows.
+func Route(cfg Config, sh Shape, base int) (*Placement, error) {
+	if !sh.Valid(cfg) {
+		return nil, fmt.Errorf("arch: invalid shape %v for %s", sh, cfg.String())
+	}
+	need := sh.Subarrays()
+	total := cfg.NumSubarrays()
+	if base < 0 || base+need > total {
+		return nil, fmt.Errorf("arch: placement [%d,%d) outside %d subarrays", base, base+need, total)
+	}
+	p := &Placement{Shape: sh}
+	idx := base
+	for g := 0; g < sh.Clusters; g++ {
+		for h := 0; h < sh.H; h++ {
+			for w := 0; w < sh.W; w++ {
+				c := SubarrayConfig{
+					ActReverse: h%2 == 1,
+					LinkE:      w < sh.W-1,
+					LinkW:      w > 0,
+					LinkS:      h < sh.H-1,
+					LinkN:      h > 0,
+				}
+				p.Subarrays = append(p.Subarrays, idx)
+				p.Configs = append(p.Configs, c)
+				idx++
+			}
+		}
+	}
+	return p, nil
+}
+
+// Validate checks the structural invariants of a placement:
+//   - the subarray count matches the shape;
+//   - within each cluster, horizontal links are mutual along each logical
+//     row and absent at row ends (fission boundaries);
+//   - vertical links are mutual between adjacent logical rows and absent
+//     at the cluster's top and bottom;
+//   - activation direction serpentines (alternates per logical row) so a
+//     chained stream can fold back, which requires the omni-directional
+//     feature whenever H > 1 and W > 1 or the chain exceeds the pod grid.
+func (p *Placement) Validate() error {
+	sh := p.Shape
+	if len(p.Subarrays) != sh.Subarrays() || len(p.Configs) != sh.Subarrays() {
+		return fmt.Errorf("arch: placement covers %d subarrays, shape needs %d", len(p.Subarrays), sh.Subarrays())
+	}
+	at := func(g, h, w int) SubarrayConfig {
+		return p.Configs[(g*sh.H+h)*sh.W+w]
+	}
+	for g := 0; g < sh.Clusters; g++ {
+		for h := 0; h < sh.H; h++ {
+			for w := 0; w < sh.W; w++ {
+				c := at(g, h, w)
+				// Horizontal link mutuality and boundaries.
+				if w < sh.W-1 {
+					if !c.LinkE || !at(g, h, w+1).LinkW {
+						return fmt.Errorf("arch: broken horizontal link at cluster %d (%d,%d)", g, h, w)
+					}
+				} else if c.LinkE {
+					return fmt.Errorf("arch: dangling east link at cluster %d (%d,%d)", g, h, w)
+				}
+				if w == 0 && c.LinkW {
+					return fmt.Errorf("arch: dangling west link at cluster %d (%d,%d)", g, h, w)
+				}
+				// Vertical link mutuality and boundaries.
+				if h < sh.H-1 {
+					if !c.LinkS || !at(g, h+1, w).LinkN {
+						return fmt.Errorf("arch: broken vertical link at cluster %d (%d,%d)", g, h, w)
+					}
+				} else if c.LinkS {
+					return fmt.Errorf("arch: dangling south link at cluster %d (%d,%d)", g, h, w)
+				}
+				if h == 0 && c.LinkN {
+					return fmt.Errorf("arch: dangling north link at cluster %d (%d,%d)", g, h, w)
+				}
+				// Serpentine direction.
+				if c.ActReverse != (h%2 == 1) {
+					return fmt.Errorf("arch: row %d of cluster %d has wrong flow direction", h, g)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// HopCount returns the number of ring-bus segments the placement's
+// longest activation chain and partial-sum chain traverse — the latency
+// the analytical model charges as boundary crossings.
+func (p *Placement) HopCount() (actHops, psumHops int) {
+	return p.Shape.W - 1, p.Shape.H - 1
+}
+
+// RouteAll places a full chip scenario: a list of (shape, owner) pairs
+// packed contiguously. It errors when the shapes exceed the chip.
+func RouteAll(cfg Config, shapes []Shape) ([]*Placement, error) {
+	base := 0
+	placements := make([]*Placement, 0, len(shapes))
+	for i, sh := range shapes {
+		p, err := Route(cfg, sh, base)
+		if err != nil {
+			return nil, fmt.Errorf("arch: logical accelerator %d: %w", i, err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("arch: logical accelerator %d: %w", i, err)
+		}
+		placements = append(placements, p)
+		base += sh.Subarrays()
+	}
+	return placements, nil
+}

@@ -1,0 +1,228 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRouteAllFullChipShapes(t *testing.T) {
+	// Every Table II configuration must route and validate.
+	cfg := Planaria()
+	for _, sh := range EnumerateShapes(cfg, 16) {
+		p, err := Route(cfg, sh, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", sh, err)
+		}
+		ah, ph := p.HopCount()
+		if ah != sh.W-1 || ph != sh.H-1 {
+			t.Errorf("%v: hops = (%d,%d)", sh, ah, ph)
+		}
+	}
+}
+
+func TestRouteSerpentineDirections(t *testing.T) {
+	cfg := Planaria()
+	p, err := Route(cfg, Shape{Clusters: 1, H: 4, W: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 4; h++ {
+		for w := 0; w < 4; w++ {
+			c := p.Configs[h*4+w]
+			if c.ActReverse != (h%2 == 1) {
+				t.Errorf("row %d col %d: ActReverse = %v", h, w, c.ActReverse)
+			}
+		}
+	}
+}
+
+func TestRouteRejectsBadPlacements(t *testing.T) {
+	cfg := Planaria()
+	if _, err := Route(cfg, Shape{Clusters: 1, H: 4, W: 4}, 1); err == nil {
+		t.Error("placement past chip end accepted")
+	}
+	if _, err := Route(cfg, Shape{Clusters: 1, H: 3, W: 1}, 0); err == nil {
+		t.Error("non-power-of-two extent accepted")
+	}
+	if _, err := Route(cfg, Shape{Clusters: 0, H: 1, W: 1}, 0); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, err := Route(cfg, Shape{Clusters: 1, H: 1, W: 1}, -1); err == nil {
+		t.Error("negative base accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cfg := Planaria()
+	mutations := []func(*Placement){
+		func(p *Placement) { p.Configs[0].LinkE = false },     // broken horizontal
+		func(p *Placement) { p.Configs[1].LinkW = false },     // one-sided link
+		func(p *Placement) { p.Configs[0].LinkS = false },     // broken vertical
+		func(p *Placement) { p.Configs[0].LinkN = true },      // dangling north
+		func(p *Placement) { p.Configs[0].ActReverse = true }, // wrong direction
+		func(p *Placement) { p.Configs = p.Configs[:3] },      // truncated
+	}
+	for i, mutate := range mutations {
+		p, err := Route(cfg, Shape{Clusters: 1, H: 2, W: 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: corrupted placement validated", i)
+		}
+	}
+}
+
+func TestRouteAllScenario(t *testing.T) {
+	// A heterogeneous co-location (Fig 1c style): one 8-subarray, one
+	// 4-subarray, and four 1-subarray logical accelerators.
+	cfg := Planaria()
+	shapes := []Shape{
+		{Clusters: 1, H: 2, W: 4},
+		{Clusters: 4, H: 1, W: 1},
+		{Clusters: 1, H: 1, W: 1},
+		{Clusters: 1, H: 1, W: 1},
+		{Clusters: 1, H: 1, W: 1},
+		{Clusters: 1, H: 1, W: 1},
+	}
+	ps, err := RouteAll(cfg, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range ps {
+		for _, s := range p.Subarrays {
+			if seen[s] {
+				t.Fatalf("subarray %d placed twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("scenario covers %d subarrays, want 16", len(seen))
+	}
+}
+
+func TestRouteAllOverflow(t *testing.T) {
+	cfg := Planaria()
+	if _, err := RouteAll(cfg, []Shape{
+		{Clusters: 1, H: 4, W: 4},
+		{Clusters: 1, H: 1, W: 1},
+	}); err == nil {
+		t.Fatal("17-subarray scenario accepted")
+	}
+}
+
+func TestRoutePropertyAllPartialShapes(t *testing.T) {
+	cfg := Planaria()
+	f := func(raw, b uint8) bool {
+		s := int(raw)%16 + 1
+		shapes := EnumerateShapes(cfg, s)
+		sh := shapes[int(b)%len(shapes)]
+		base := int(b) % (16 - sh.Subarrays() + 1)
+		p, err := Route(cfg, sh, base)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPodMemoryClaimRelease(t *testing.T) {
+	cfg := Planaria()
+	pm := NewPodMemory(cfg)
+	if pm.Banks != 4 {
+		t.Fatalf("banks = %d, want 4", pm.Banks)
+	}
+	if pm.BankBytes != cfg.PodMemBytes()/4 {
+		t.Fatalf("bank bytes = %d", pm.BankBytes)
+	}
+	got, err := pm.Claim(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3*pm.BankBytes {
+		t.Fatalf("claimed %d bytes", got)
+	}
+	if pm.FreeActBanks() != 1 || pm.FreeOutBanks() != 1 {
+		t.Fatalf("free = %d/%d", pm.FreeActBanks(), pm.FreeOutBanks())
+	}
+	// Over-claim fails without side effects.
+	if _, err := pm.Claim(2, 2); err == nil {
+		t.Fatal("over-claim accepted")
+	}
+	if pm.FreeActBanks() != 1 {
+		t.Fatal("failed claim had side effects")
+	}
+	pm.Release(1)
+	if pm.FreeActBanks() != 4 || pm.FreeOutBanks() != 4 {
+		t.Fatal("release incomplete")
+	}
+}
+
+func TestPodMemoryBadArgs(t *testing.T) {
+	pm := NewPodMemory(Planaria())
+	if _, err := pm.Claim(-1, 1); err == nil {
+		t.Error("negative owner accepted")
+	}
+	if _, err := pm.Claim(1, 0); err == nil {
+		t.Error("zero-bank claim accepted")
+	}
+}
+
+func TestPodSetSpanningClaim(t *testing.T) {
+	cfg := Planaria()
+	ps := NewPodSet(cfg)
+	// A logical accelerator spanning pod 0 entirely and half of pod 1
+	// (the paper's cross-pod composition).
+	idx := []int{0, 1, 2, 3, 4, 5}
+	got, err := ps.ClaimForSubarrays(7, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatal("no capacity claimed")
+	}
+	if ps.FreeBanks() != 16-6 {
+		t.Fatalf("free banks = %d, want 10", ps.FreeBanks())
+	}
+	// A conflicting claim on pod 0 fails atomically.
+	if _, err := ps.ClaimForSubarrays(8, []int{0, 1}); err == nil {
+		t.Fatal("conflicting claim accepted")
+	}
+	if ps.FreeBanks() != 10 {
+		t.Fatalf("failed claim leaked banks: %d", ps.FreeBanks())
+	}
+	ps.Release(7)
+	if ps.FreeBanks() != 16 {
+		t.Fatal("release incomplete")
+	}
+}
+
+func TestPodSetRejectsBadIndex(t *testing.T) {
+	ps := NewPodSet(Planaria())
+	if _, err := ps.ClaimForSubarrays(1, []int{99}); err == nil {
+		t.Fatal("out-of-range subarray accepted")
+	}
+}
+
+func TestCrossbarSelect(t *testing.T) {
+	c, err := CrossbarSelect([2]int{1, 3}, [2]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := UnpackPodMemConfig(c.Pack())
+	if rt != c {
+		t.Fatalf("crossbar selection round trip: %+v != %+v", rt, c)
+	}
+	if _, err := CrossbarSelect([2]int{4, 0}, [2]int{0, 0}); err == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+}

@@ -1,0 +1,263 @@
+package compiler
+
+import (
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/dnn"
+)
+
+func toyNet(t *testing.T) *dnn.Network {
+	t.Helper()
+	b := dnn.NewBuilder("toy", "classification", 16, 16, 3)
+	b.Conv("c1", 8, 3, 1)
+	b.DWConv("dw", 3, 1)
+	b.Conv("pw", 16, 1, 1)
+	b.Pool("p", 2, 2)
+	b.GlobalPool("gp")
+	b.FC("fc", 10)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCompileBasics(t *testing.T) {
+	cfg := arch.Planaria()
+	tab, err := Compile(toyNet(t), cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Layers) != 6 {
+		t.Fatalf("layer plans = %d, want 6", len(tab.Layers))
+	}
+	if tab.TotalCycles <= 0 || tab.TotalTiles <= 0 {
+		t.Fatalf("degenerate table %+v", tab)
+	}
+	if len(tab.CumCycles) != 7 || tab.CumCycles[6] != tab.TotalCycles {
+		t.Fatalf("prefix sums wrong: %v vs total %d", tab.CumCycles, tab.TotalCycles)
+	}
+}
+
+func TestCompileRejectsBadInput(t *testing.T) {
+	cfg := arch.Planaria()
+	if _, err := Compile(&dnn.Network{Name: "x"}, cfg, 4, true); err == nil {
+		t.Error("accepted invalid network")
+	}
+	if _, err := Compile(toyNet(t), cfg, 0, true); err == nil {
+		t.Error("accepted allocation 0")
+	}
+	if _, err := Compile(toyNet(t), cfg, 17, true); err == nil {
+		t.Error("accepted allocation 17")
+	}
+}
+
+func TestProgramMonotoneLatency(t *testing.T) {
+	// More subarrays must never increase compiled latency — the property
+	// the scheduler's ESTIMATERESOURCES search relies on.
+	cfg := arch.Planaria()
+	for _, name := range []string{"MobileNet-v1", "GoogLeNet", "GNMT"} {
+		p, err := CompileProgram(dnn.MustByName(name), cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := int64(1 << 62)
+		for s := 1; s <= 16; s++ {
+			c := p.Table(s).TotalCycles
+			if c > prev {
+				t.Errorf("%s: cycles increased %d→%d at s=%d", name, prev, c, s)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestRemainingCycles(t *testing.T) {
+	cfg := arch.Planaria()
+	tab, err := Compile(toyNet(t), cfg, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.RemainingCycles(0, 0); got != tab.TotalCycles {
+		t.Errorf("fresh task remaining = %d, want %d", got, tab.TotalCycles)
+	}
+	if got := tab.RemainingCycles(len(tab.Layers), 0); got != 0 {
+		t.Errorf("finished task remaining = %d, want 0", got)
+	}
+	// Mid-layer progress interpolates.
+	l0 := tab.Layers[0]
+	if l0.Tiles > 1 {
+		half := tab.RemainingCycles(0, l0.Tiles/2)
+		if half >= tab.TotalCycles || half <= tab.RemainingCycles(1, 0)-1 {
+			t.Errorf("mid-layer remaining %d not between bounds (%d, %d)",
+				half, tab.RemainingCycles(1, 0), tab.TotalCycles)
+		}
+	}
+	// Tiles beyond the layer clamp.
+	if got := tab.RemainingCycles(0, l0.Tiles*10); got < 0 {
+		t.Errorf("clamped remaining = %d", got)
+	}
+	// Monotone in progress.
+	prev := tab.TotalCycles + 1
+	for layer := 0; layer <= len(tab.Layers); layer++ {
+		got := tab.RemainingCycles(layer, 0)
+		if got >= prev {
+			t.Errorf("remaining not decreasing at layer %d: %d >= %d", layer, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBinaryGeneration(t *testing.T) {
+	cfg := arch.Planaria()
+	net := toyNet(t)
+	tab, err := Compile(net, cfg, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := tab.Binary(net, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Subarrays != 4 || bin.Net != "toy" {
+		t.Fatalf("binary header %q/%d", bin.Net, bin.Subarrays)
+	}
+	// Hardware-looped emission keeps big nets within sane binary sizes.
+	big, err := Compile(dnn.MustByName("ResNet-50"), cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbin, err := big.Binary(dnn.MustByName("ResNet-50"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bbin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bbin.Bytes() > 1<<20 {
+		t.Errorf("ResNet-50 binary = %d bytes, want < 1 MB with looped emission", bbin.Bytes())
+	}
+}
+
+func TestBinaryNetMismatch(t *testing.T) {
+	cfg := arch.Planaria()
+	tab, err := Compile(toyNet(t), cfg, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Binary(dnn.MustByName("GNMT"), 8); err == nil {
+		t.Fatal("expected network mismatch error")
+	}
+}
+
+func TestDepthwisePlansAreClustered(t *testing.T) {
+	// Table II's observation: depthwise layers pick the finest fission.
+	cfg := arch.Planaria()
+	tab, err := Compile(dnn.MustByName("MobileNet-v1"), cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dnn.MustByName("MobileNet-v1")
+	for _, lp := range tab.Layers {
+		if net.Layers[lp.LayerIdx].Kind == dnn.DWConv && lp.Shape.Clusters < 8 {
+			t.Errorf("depthwise layer %s compiled to %v, expected many clusters",
+				net.Layers[lp.LayerIdx].Name, lp.Shape)
+		}
+	}
+}
+
+func TestMonolithicCompilationUsesOneShape(t *testing.T) {
+	cfg := arch.Monolithic()
+	net := dnn.MustByName("GoogLeNet")
+	tab, err := Compile(net, cfg, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := arch.MonolithicShape(cfg)
+	for _, lp := range tab.Layers {
+		if net.Layers[lp.LayerIdx].Kind.IsGEMM() && lp.Shape != mono {
+			t.Errorf("layer %d compiled to %v on a monolithic design", lp.LayerIdx, lp.Shape)
+		}
+	}
+}
+
+func TestCacheReturnsSameProgram(t *testing.T) {
+	c := NewCache()
+	cfg := arch.Planaria()
+	net := dnn.MustByName("Tiny YOLO")
+	p1, err := c.Program(net, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Program(net, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache returned distinct programs")
+	}
+	// Different fissionability is a different artifact.
+	p3, err := c.Program(net, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("cache conflated fissionable and monolithic programs")
+	}
+}
+
+func TestProgramTableClamping(t *testing.T) {
+	cfg := arch.Planaria()
+	p, err := CompileProgram(toyNetHelper(t), cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Table(0) != p.Table(1) {
+		t.Error("Table(0) should clamp to 1")
+	}
+	if p.Table(99) != p.Table(16) {
+		t.Error("Table(99) should clamp to 16")
+	}
+	if p.MaxAlloc() != 16 {
+		t.Errorf("MaxAlloc = %d", p.MaxAlloc())
+	}
+}
+
+func toyNetHelper(t *testing.T) *dnn.Network { return toyNet(t) }
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	// INFaaS deployments compile models from concurrent request paths;
+	// the cache must be safe and return one program per artifact.
+	c := NewCache()
+	cfg := arch.Planaria()
+	net := dnn.MustByName("GoogLeNet")
+	const goroutines = 8
+	progs := make([]*Program, goroutines)
+	done := make(chan int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			p, err := c.Program(net, cfg, true)
+			if err == nil {
+				progs[i] = p
+			}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < goroutines; i++ {
+		<-done
+	}
+	for i := 1; i < goroutines; i++ {
+		if progs[i] == nil {
+			t.Fatalf("goroutine %d got no program", i)
+		}
+		// All callers may share one artifact, but duplicates are allowed
+		// only from racing first-compiles; every result must be complete.
+		if progs[i].MaxAlloc() != 16 {
+			t.Fatalf("goroutine %d got incomplete program", i)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamePad(t *testing.T) {
+	cases := []struct {
+		in, k, s int
+		wantOut  int
+	}{
+		{224, 7, 2, 112},
+		{224, 3, 2, 112},
+		{224, 3, 1, 224},
+		{112, 3, 2, 56},
+		{56, 1, 1, 56},
+		{13, 3, 1, 13},
+		{19, 3, 2, 10},
+		{75, 3, 2, 38},
+		{300, 3, 2, 150},
+		{416, 2, 2, 208},
+	}
+	for _, c := range cases {
+		out, pad := samePad(c.in, c.k, c.s)
+		if out != c.wantOut {
+			t.Errorf("samePad(%d,%d,%d) out = %d, want %d", c.in, c.k, c.s, out, c.wantOut)
+		}
+		if got := (c.in+2*pad-c.k)/c.s + 1; got != out {
+			t.Errorf("samePad(%d,%d,%d): pad %d inconsistent, formula gives %d want %d",
+				c.in, c.k, c.s, pad, got, out)
+		}
+	}
+}
+
+func TestSamePadProperty(t *testing.T) {
+	// For random (in, k, stride), the output must equal ceil(in/stride)
+	// and the symmetric pad must provide at least SAME coverage without
+	// being absurdly large.
+	f := func(a, b, c uint8) bool {
+		in := int(a)%512 + 1
+		k := int(b)%7 + 1
+		s := int(c)%4 + 1
+		if k > in {
+			return true
+		}
+		out, pad := samePad(in, k, s)
+		want := (in + s - 1) / s
+		return out == want && (in+2*pad-k)/s+1 >= out && pad <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvGEMMLowering(t *testing.T) {
+	l := Layer{
+		Kind: Conv, InH: 56, InW: 56, InC: 64, OutC: 256,
+		OutH: 56, OutW: 56, KH: 1, KW: 1, Stride: 1,
+	}
+	m, k, n := l.GEMM()
+	if m != 56*56 || k != 64 || n != 256 {
+		t.Fatalf("GEMM = (%d,%d,%d), want (3136,64,256)", m, k, n)
+	}
+	if got, want := l.MACs(), int64(56*56*64*256); got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestDepthwiseGEMM(t *testing.T) {
+	l := Layer{
+		Kind: DWConv, InH: 112, InW: 112, InC: 32, OutC: 32,
+		OutH: 112, OutW: 112, KH: 3, KW: 3, Stride: 1,
+	}
+	m, k, n := l.GEMM()
+	if m != 112*112 || k != 9 || n != 1 {
+		t.Fatalf("GEMM = (%d,%d,%d), want (12544,9,1)", m, k, n)
+	}
+	if l.Channels() != 32 {
+		t.Fatalf("Channels = %d, want 32", l.Channels())
+	}
+	if got, want := l.MACs(), int64(112*112*9*32); got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestRepeatScalesMACs(t *testing.T) {
+	l := Layer{Kind: MatMul, M: 1, K: 2048, N: 4096, Repeat: 25}
+	if got, want := l.MACs(), int64(25)*2048*4096; got != want {
+		t.Fatalf("MACs = %d, want %d", got, want)
+	}
+	if got, want := l.Params(), int64(2048)*4096+4096; got != want {
+		t.Fatalf("Params = %d, want %d (repeat must not scale params)", got, want)
+	}
+}
+
+func TestBuilderShapeChaining(t *testing.T) {
+	b := NewBuilder("toy", "classification", 32, 32, 3)
+	b.Conv("c1", 16, 3, 1)
+	b.Pool("p1", 2, 2)
+	b.DWConv("dw", 3, 1)
+	b.Conv("pw", 32, 1, 1)
+	b.GlobalPool("gp")
+	b.FC("fc", 10)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 6 {
+		t.Fatalf("got %d layers, want 6", len(n.Layers))
+	}
+	fc := n.Layers[5]
+	if fc.K != 32 || fc.N != 10 {
+		t.Fatalf("fc K=%d N=%d, want 32, 10", fc.K, fc.N)
+	}
+}
+
+func TestBuilderUniqueNames(t *testing.T) {
+	b := NewBuilder("toy", "classification", 8, 8, 3)
+	b.Conv("c", 4, 1, 1)
+	b.Conv("c", 4, 1, 1)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Layers[0].Name == n.Layers[1].Name {
+		t.Fatalf("duplicate names not disambiguated: %q", n.Layers[0].Name)
+	}
+}
+
+func TestBuilderCollapseError(t *testing.T) {
+	b := NewBuilder("bad", "classification", 4, 4, 3)
+	b.ConvValid("c1", 8, 5, 1) // 5×5 valid conv on 4×4 input collapses
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for collapsed spatial dims")
+	}
+}
+
+func TestValidateRejectsBadNetworks(t *testing.T) {
+	cases := []struct {
+		name string
+		net  Network
+	}{
+		{"empty", Network{Name: "x"}},
+		{"noname", Network{Layers: []Layer{{Name: "a", Kind: Add}}}},
+		{"dup", Network{Name: "x", Layers: []Layer{
+			{Name: "a", Kind: Add}, {Name: "a", Kind: Add},
+		}}},
+		{"badconv", Network{Name: "x", Layers: []Layer{
+			{Name: "c", Kind: Conv, InH: 8, InW: 8, InC: 3, OutC: 4, KH: 3, KW: 3, Stride: 1, OutH: 99, OutW: 8},
+		}}},
+		{"badgemm", Network{Name: "x", Layers: []Layer{
+			{Name: "m", Kind: MatMul, M: 0, K: 4, N: 4},
+		}}},
+		{"dwmismatch", Network{Name: "x", Layers: []Layer{
+			{Name: "d", Kind: DWConv, InH: 8, InW: 8, InC: 4, OutC: 8, KH: 3, KW: 3, Stride: 1, OutH: 8, OutW: 8, Pad: 1},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.net.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid network", c.name)
+		}
+	}
+}
+
+func TestRandomBuildersValidate(t *testing.T) {
+	// Networks produced via the builder must always validate.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuilder("rand", "classification", 64, 64, 3)
+		depth := rng.Intn(8) + 1
+		for i := 0; i < depth; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.Conv("c", rng.Intn(64)+1, []int{1, 3, 5}[rng.Intn(3)], rng.Intn(2)+1)
+			case 1:
+				b.DWConv("d", 3, rng.Intn(2)+1)
+			case 2:
+				b.Pool("p", 2, 2)
+			case 3:
+				b.Add("a")
+			}
+		}
+		n, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package dnn
+
+import "fmt"
+
+// mbconv appends one EfficientNet MBConv block: 1×1 expansion (ratio t),
+// k×k depthwise conv (stride s), squeeze-and-excitation (two FCs over the
+// channel vector), and 1×1 projection to outC, with a residual add when
+// the shape is preserved.
+func mbconv(b *Builder, tag string, outC, k, stride, expand int) {
+	_, _, inC := b.Shape()
+	mid := inC * expand
+	if expand != 1 {
+		b.Conv(fmt.Sprintf("%s_expand", tag), mid, 1, 1)
+	}
+	b.DWConv(fmt.Sprintf("%s_dw", tag), k, stride)
+	// Squeeze-and-excitation: global pool to 1×1×mid, FC mid→inC/4,
+	// FC inC/4→mid, channel-wise scale. The pooled FCs are tiny GEMMs.
+	se := inC / 4
+	if se < 1 {
+		se = 1
+	}
+	h, w, _ := b.Shape()
+	b.MatMul(fmt.Sprintf("%s_se_reduce", tag), 1, mid, se, 1)
+	b.MatMul(fmt.Sprintf("%s_se_expand", tag), 1, se, mid, 1)
+	b.Conv(fmt.Sprintf("%s_project", tag), outC, 1, 1)
+	if stride == 1 && inC == outC {
+		b.Add(fmt.Sprintf("%s_add", tag))
+	}
+	b.SetShape(h, w, outC)
+}
+
+// EfficientNetB0 builds the EfficientNet-B0 image classifier
+// (224×224×3 input, ~0.39 GMACs, ~5.3 M parameters).
+func EfficientNetB0() *Network {
+	b := NewBuilder("EfficientNet-B0", "classification", 224, 224, 3)
+	b.Conv("stem", 32, 3, 2)
+
+	type stage struct {
+		outC, k, stride, expand, repeat int
+	}
+	stages := []stage{
+		{16, 3, 1, 1, 1},
+		{24, 3, 2, 6, 2},
+		{40, 5, 2, 6, 2},
+		{80, 3, 2, 6, 3},
+		{112, 5, 1, 6, 3},
+		{192, 5, 2, 6, 4},
+		{320, 3, 1, 6, 1},
+	}
+	for si, s := range stages {
+		for r := 0; r < s.repeat; r++ {
+			stride := 1
+			if r == 0 {
+				stride = s.stride
+			}
+			mbconv(b, fmt.Sprintf("mb%d_%d", si+1, r+1), s.outC, s.k, stride, s.expand)
+		}
+	}
+	b.Conv("head", 1280, 1, 1)
+	b.GlobalPool("avgpool")
+	b.FC("fc1000", 1000)
+	return b.MustBuild()
+}

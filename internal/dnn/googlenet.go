@@ -1,0 +1,48 @@
+package dnn
+
+import "fmt"
+
+// inception appends one GoogLeNet inception module. The four parallel
+// branches (1×1; 1×1→3×3; 1×1→5×5; pool→1×1) are serialized; the output
+// channel count is the concatenation of the branch outputs.
+func inception(b *Builder, tag string, c1, r3, c3, r5, c5, pp int) {
+	h, w, c := b.Shape()
+	b.Conv(fmt.Sprintf("%s_1x1", tag), c1, 1, 1)
+	b.SetShape(h, w, c)
+	b.Conv(fmt.Sprintf("%s_3x3r", tag), r3, 1, 1)
+	b.Conv(fmt.Sprintf("%s_3x3", tag), c3, 3, 1)
+	b.SetShape(h, w, c)
+	b.Conv(fmt.Sprintf("%s_5x5r", tag), r5, 1, 1)
+	b.Conv(fmt.Sprintf("%s_5x5", tag), c5, 5, 1)
+	b.SetShape(h, w, c)
+	b.Pool(fmt.Sprintf("%s_pool", tag), 3, 1)
+	b.Conv(fmt.Sprintf("%s_poolproj", tag), pp, 1, 1)
+	b.SetShape(h, w, c1+c3+c5+pp)
+}
+
+// GoogLeNet builds the Inception-v1 image classifier
+// (224×224×3 input, ~1.6 GMACs, ~7 M parameters).
+func GoogLeNet() *Network {
+	b := NewBuilder("GoogLeNet", "classification", 224, 224, 3)
+	b.Conv("conv1", 64, 7, 2)
+	b.Pool("pool1", 3, 2)
+	b.Conv("conv2r", 64, 1, 1)
+	b.Conv("conv2", 192, 3, 1)
+	b.Pool("pool2", 3, 2)
+
+	inception(b, "3a", 64, 96, 128, 16, 32, 32)
+	inception(b, "3b", 128, 128, 192, 32, 96, 64)
+	b.Pool("pool3", 3, 2)
+	inception(b, "4a", 192, 96, 208, 16, 48, 64)
+	inception(b, "4b", 160, 112, 224, 24, 64, 64)
+	inception(b, "4c", 128, 128, 256, 24, 64, 64)
+	inception(b, "4d", 112, 144, 288, 32, 64, 64)
+	inception(b, "4e", 256, 160, 320, 32, 128, 128)
+	b.Pool("pool4", 3, 2)
+	inception(b, "5a", 256, 160, 320, 32, 128, 128)
+	inception(b, "5b", 384, 192, 384, 48, 128, 128)
+
+	b.GlobalPool("avgpool")
+	b.FC("fc1000", 1000)
+	return b.MustBuild()
+}

@@ -1,0 +1,37 @@
+package dnn
+
+import "fmt"
+
+// dwSeparable appends one MobileNet depthwise-separable block:
+// 3×3 depthwise conv (stride s) followed by 1×1 pointwise conv to outC.
+func dwSeparable(b *Builder, tag string, outC, stride int) {
+	b.DWConv(fmt.Sprintf("%s_dw", tag), 3, stride)
+	b.Conv(fmt.Sprintf("%s_pw", tag), outC, 1, 1)
+}
+
+// mobileNetBackbone appends the full MobileNet-v1 feature extractor
+// (through the 1024-channel layers) to an existing builder.
+func mobileNetBackbone(b *Builder) {
+	b.Conv("conv1", 32, 3, 2)
+	dwSeparable(b, "sep2", 64, 1)
+	dwSeparable(b, "sep3", 128, 2)
+	dwSeparable(b, "sep4", 128, 1)
+	dwSeparable(b, "sep5", 256, 2)
+	dwSeparable(b, "sep6", 256, 1)
+	dwSeparable(b, "sep7", 512, 2)
+	for i := 0; i < 5; i++ {
+		dwSeparable(b, fmt.Sprintf("sep%d", 8+i), 512, 1)
+	}
+	dwSeparable(b, "sep13", 1024, 2)
+	dwSeparable(b, "sep14", 1024, 1)
+}
+
+// MobileNetV1 builds the MobileNet-v1 (1.0, 224) image classifier
+// (~0.57 GMACs, ~4.2 M parameters).
+func MobileNetV1() *Network {
+	b := NewBuilder("MobileNet-v1", "classification", 224, 224, 3)
+	mobileNetBackbone(b)
+	b.GlobalPool("avgpool")
+	b.FC("fc1000", 1000)
+	return b.MustBuild()
+}

@@ -1,0 +1,126 @@
+package dnn
+
+import "testing"
+
+// Published reference compute/parameter counts. Our serialized-branch
+// representation reproduces compute within a modest tolerance (branch
+// serialization and SE/attention approximations shift counts slightly).
+func TestBenchmarkModelStats(t *testing.T) {
+	cases := []struct {
+		name                 string
+		minGMACs, maxGMACs   float64
+		minMParam, maxMParam float64
+	}{
+		{"ResNet-50", 3.4, 4.5, 22, 29},
+		{"GoogLeNet", 1.2, 2.2, 5.5, 9},
+		{"MobileNet-v1", 0.45, 0.75, 3.2, 5.5},
+		{"EfficientNet-B0", 0.3, 0.75, 3.5, 8},
+		{"YOLOv3", 25, 45, 50, 75},
+		{"Tiny YOLO", 2.0, 5.0, 8, 18},
+		{"SSD-R", 50, 260, 15, 45},
+		{"SSD-M", 0.8, 3.0, 4, 12},
+		// GNMT compute includes the beam-4 decode multiplier.
+		{"GNMT", 5.0, 15.0, 100, 250},
+	}
+	for _, c := range cases {
+		n := MustByName(c.name)
+		g := float64(n.TotalMACs()) / 1e9
+		p := float64(n.TotalParams()) / 1e6
+		t.Logf("%s", n.Summary())
+		if g < c.minGMACs || g > c.maxGMACs {
+			t.Errorf("%s: %.2f GMACs outside [%.2f, %.2f]", c.name, g, c.minGMACs, c.maxGMACs)
+		}
+		if p < c.minMParam || p > c.maxMParam {
+			t.Errorf("%s: %.1fM params outside [%.1f, %.1f]", c.name, p, c.minMParam, c.maxMParam)
+		}
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, n := range All() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestAllModelsHaveGEMMLayers(t *testing.T) {
+	for _, n := range All() {
+		if len(n.GEMMLayers()) == 0 {
+			t.Errorf("%s has no GEMM layers", n.Name)
+		}
+	}
+}
+
+func TestDepthwiseClassification(t *testing.T) {
+	want := map[string]bool{
+		"ResNet-50": false, "GoogLeNet": false, "YOLOv3": false,
+		"SSD-R": false, "GNMT": false,
+		"EfficientNet-B0": true, "MobileNet-v1": true, "SSD-M": true,
+		"Tiny YOLO": false,
+	}
+	for name, w := range want {
+		if got := MustByName(name).HasDepthwise(); got != w {
+			t.Errorf("%s: HasDepthwise = %v, want %v", name, got, w)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("NoSuchNet"); err == nil {
+		t.Fatal("expected error for unknown network")
+	}
+}
+
+func TestByNameCaches(t *testing.T) {
+	a := MustByName("ResNet-50")
+	b := MustByName("ResNet-50")
+	if a != b {
+		t.Fatal("ByName should return the cached instance")
+	}
+}
+
+func TestResNet50Structure(t *testing.T) {
+	n := MustByName("ResNet-50")
+	// 1 stem + 16 bottlenecks × 3 convs + 4 projections + 1 FC = 54 GEMMs.
+	if got := len(n.GEMMLayers()); got != 54 {
+		t.Errorf("ResNet-50 GEMM layer count = %d, want 54", got)
+	}
+	last := n.Layers[len(n.Layers)-1]
+	if last.Kind != FC || last.N != 1000 {
+		t.Errorf("last layer = %s, want FC to 1000", last.String())
+	}
+}
+
+func TestMobileNetAlternation(t *testing.T) {
+	n := MustByName("MobileNet-v1")
+	dw := 0
+	for i := range n.Layers {
+		if n.Layers[i].Kind == DWConv {
+			dw++
+		}
+	}
+	if dw != 13 {
+		t.Errorf("MobileNet-v1 depthwise layer count = %d, want 13", dw)
+	}
+}
+
+func TestGNMTSequential(t *testing.T) {
+	n := MustByName("GNMT")
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		if l.Kind != MatMul {
+			t.Errorf("GNMT layer %s is %s, want MatMul", l.Name, l.Kind)
+		}
+		if l.Repeat < 1 {
+			t.Errorf("GNMT layer %s Repeat = %d", l.Name, l.Repeat)
+		}
+	}
+}
+
+func TestFormatLayers(t *testing.T) {
+	s := MustByName("Tiny YOLO").FormatLayers()
+	if len(s) == 0 {
+		t.Fatal("empty layer listing")
+	}
+}

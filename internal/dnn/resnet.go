@@ -1,0 +1,86 @@
+package dnn
+
+import "fmt"
+
+// bottleneck appends one ResNet-50 bottleneck block (1×1 reduce, 3×3,
+// 1×1 expand, residual add); project indicates a projection shortcut.
+func bottleneck(b *Builder, tag string, mid, out, stride int, project bool) {
+	h0, w0, c0 := b.Shape()
+	b.Conv(fmt.Sprintf("%s_1x1a", tag), mid, 1, 1)
+	b.Conv(fmt.Sprintf("%s_3x3", tag), mid, 3, stride)
+	b.Conv(fmt.Sprintf("%s_1x1b", tag), out, 1, 1)
+	if project {
+		// The projection shortcut is a strided 1×1 conv on the block
+		// input tensor.
+		b.SetShape(h0, w0, c0)
+		b.Conv(fmt.Sprintf("%s_proj", tag), out, 1, stride)
+	}
+	b.Add(fmt.Sprintf("%s_add", tag))
+}
+
+// ResNet50 builds the standard ResNet-50 image classifier
+// (224×224×3 input, ~3.9 GMACs, ~25.6 M parameters).
+func ResNet50() *Network {
+	b := NewBuilder("ResNet-50", "classification", 224, 224, 3)
+	b.Conv("conv1", 64, 7, 2)
+	b.Pool("pool1", 3, 2)
+
+	stages := []struct {
+		name        string
+		mid, out, n int
+		stride      int
+	}{
+		{"conv2", 64, 256, 3, 1},
+		{"conv3", 128, 512, 4, 2},
+		{"conv4", 256, 1024, 6, 2},
+		{"conv5", 512, 2048, 3, 2},
+	}
+	for _, s := range stages {
+		for i := 0; i < s.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = s.stride
+			}
+			bottleneck(b, fmt.Sprintf("%s_b%d", s.name, i+1), s.mid, s.out, stride, i == 0)
+		}
+	}
+	b.GlobalPool("avgpool")
+	b.FC("fc1000", 1000)
+	return b.MustBuild()
+}
+
+// basicBlock appends one ResNet-34 basic block (two 3×3 convs + residual).
+func basicBlock(b *Builder, tag string, out, stride int, project bool) {
+	h0, w0, c0 := b.Shape()
+	b.Conv(fmt.Sprintf("%s_3x3a", tag), out, 3, stride)
+	b.Conv(fmt.Sprintf("%s_3x3b", tag), out, 3, 1)
+	if project {
+		b.SetShape(h0, w0, c0)
+		b.Conv(fmt.Sprintf("%s_proj", tag), out, 1, stride)
+	}
+	b.Add(fmt.Sprintf("%s_add", tag))
+}
+
+// resNet34Backbone appends the ResNet-34 feature extractor through conv4
+// (the truncation MLPerf's SSD-ResNet34 uses) to an existing builder.
+func resNet34Backbone(b *Builder) {
+	b.Conv("conv1", 64, 7, 2)
+	b.Pool("pool1", 3, 2)
+	for i := 0; i < 3; i++ {
+		basicBlock(b, fmt.Sprintf("conv2_b%d", i+1), 64, 1, false)
+	}
+	for i := 0; i < 4; i++ {
+		stride := 1
+		if i == 0 {
+			stride = 2
+		}
+		basicBlock(b, fmt.Sprintf("conv3_b%d", i+1), 128, stride, i == 0)
+	}
+	for i := 0; i < 6; i++ {
+		stride := 1
+		if i == 0 {
+			stride = 2
+		}
+		basicBlock(b, fmt.Sprintf("conv4_b%d", i+1), 256, stride, i == 0)
+	}
+}

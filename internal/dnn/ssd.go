@@ -1,0 +1,76 @@
+package dnn
+
+import "fmt"
+
+// ssdHead appends the per-feature-map SSD prediction convs: a k×k
+// localization conv (anchors×4 outputs) and a k×k confidence conv
+// (anchors×classes outputs) over the current feature map. SSD-ResNet34
+// uses 3×3 heads; SSD-MobileNet's box predictor uses 1×1 heads.
+func ssdHead(b *Builder, tag string, anchors, classes, k int) {
+	h, w, c := b.Shape()
+	b.Conv(fmt.Sprintf("%s_loc", tag), anchors*4, k, 1)
+	b.SetShape(h, w, c)
+	b.Conv(fmt.Sprintf("%s_conf", tag), anchors*classes, k, 1)
+	b.SetShape(h, w, c)
+}
+
+// SSDResNet34 builds the MLPerf-style SSD-ResNet34 ("SSD-R") large object
+// detector: 1200×1200 input, ResNet-34 backbone truncated at conv4, six
+// feature maps with extra downsampling layers, 81 COCO classes.
+func SSDResNet34() *Network {
+	b := NewBuilder("SSD-R", "detection", 1200, 1200, 3)
+	resNet34Backbone(b) // ends at 75×75×256 (1200/16)
+	ssdHead(b, "fm1", 4, 81, 3)
+
+	// Extra feature layers: 1×1 reduce then 3×3 stride-2 downsample.
+	b.Conv("extra1_1x1", 256, 1, 1)
+	b.Conv("extra1_3x3", 512, 3, 2) // 38×38
+	ssdHead(b, "fm2", 6, 81, 3)
+	b.Conv("extra2_1x1", 256, 1, 1)
+	b.Conv("extra2_3x3", 512, 3, 2) // 19×19
+	ssdHead(b, "fm3", 6, 81, 3)
+	b.Conv("extra3_1x1", 128, 1, 1)
+	b.Conv("extra3_3x3", 256, 3, 2) // 10×10
+	ssdHead(b, "fm4", 6, 81, 3)
+	b.Conv("extra4_1x1", 128, 1, 1)
+	b.Conv("extra4_3x3", 256, 3, 2) // 5×5
+	ssdHead(b, "fm5", 4, 81, 3)
+	b.Conv("extra5_1x1", 128, 1, 1)
+	b.ConvValid("extra5_3x3", 256, 3, 1) // 3×3
+	ssdHead(b, "fm6", 4, 81, 3)
+
+	return b.MustBuild()
+}
+
+// SSDMobileNet builds the SSD-MobileNet-v1 ("SSD-M") lightweight object
+// detector: 300×300 input, MobileNet-v1 backbone, six feature maps,
+// 91 classes (COCO with background), ~1.2 GMACs.
+func SSDMobileNet() *Network {
+	b := NewBuilder("SSD-M", "detection", 300, 300, 3)
+	mobileNetBackbone(b) // ends at 10×10×1024
+
+	// First head taps the 19×19×512 backbone feature map (sep12 output);
+	// the backbone has already been serialized past it, so restore the
+	// shape for the head convs.
+	b.SetShape(19, 19, 512)
+	ssdHead(b, "fm1", 3, 91, 1)
+
+	b.SetShape(10, 10, 1024)
+	ssdHead(b, "fm2", 6, 91, 1)
+
+	// Extra layers: 1×1 reduce + 3×3 stride-2 pairs down to 1×1.
+	b.Conv("extra1_1x1", 256, 1, 1)
+	b.Conv("extra1_3x3", 512, 3, 2) // 5×5
+	ssdHead(b, "fm3", 6, 91, 1)
+	b.Conv("extra2_1x1", 128, 1, 1)
+	b.Conv("extra2_3x3", 256, 3, 2) // 3×3
+	ssdHead(b, "fm4", 6, 91, 1)
+	b.Conv("extra3_1x1", 128, 1, 1)
+	b.Conv("extra3_3x3", 256, 3, 2) // 2×2
+	ssdHead(b, "fm5", 6, 91, 1)
+	b.Conv("extra4_1x1", 64, 1, 1)
+	b.ConvValid("extra4_3x3", 128, 2, 1) // 1×1
+	ssdHead(b, "fm6", 6, 91, 1)
+
+	return b.MustBuild()
+}

@@ -1,0 +1,88 @@
+package dnn
+
+import "fmt"
+
+// darkRes appends one Darknet-53 residual unit: 1×1 reduce to half the
+// channels, 3×3 restore, residual add.
+func darkRes(b *Builder, tag string, c int) {
+	b.Conv(fmt.Sprintf("%s_1x1", tag), c/2, 1, 1)
+	b.Conv(fmt.Sprintf("%s_3x3", tag), c, 3, 1)
+	b.Add(fmt.Sprintf("%s_add", tag))
+}
+
+// yoloHead appends one YOLOv3 detection head: five alternating 1×1/3×3
+// convs followed by the 1×1 prediction conv (255 = 3 anchors × 85).
+func yoloHead(b *Builder, tag string, c int) {
+	b.Conv(fmt.Sprintf("%s_c1", tag), c/2, 1, 1)
+	b.Conv(fmt.Sprintf("%s_c2", tag), c, 3, 1)
+	b.Conv(fmt.Sprintf("%s_c3", tag), c/2, 1, 1)
+	b.Conv(fmt.Sprintf("%s_c4", tag), c, 3, 1)
+	b.Conv(fmt.Sprintf("%s_c5", tag), c/2, 1, 1)
+	b.Conv(fmt.Sprintf("%s_obj", tag), c, 3, 1)
+	b.Conv(fmt.Sprintf("%s_pred", tag), 255, 1, 1)
+}
+
+// YOLOv3 builds the YOLOv3 object detector on Darknet-53
+// (416×416×3 input, ~33 GMACs, ~62 M parameters).
+func YOLOv3() *Network {
+	b := NewBuilder("YOLOv3", "detection", 416, 416, 3)
+	b.Conv("conv1", 32, 3, 1)
+	b.Conv("down1", 64, 3, 2)
+	darkRes(b, "res1_1", 64)
+	b.Conv("down2", 128, 3, 2)
+	for i := 0; i < 2; i++ {
+		darkRes(b, fmt.Sprintf("res2_%d", i+1), 128)
+	}
+	b.Conv("down3", 256, 3, 2)
+	for i := 0; i < 8; i++ {
+		darkRes(b, fmt.Sprintf("res3_%d", i+1), 256)
+	}
+	b.Conv("down4", 512, 3, 2)
+	for i := 0; i < 8; i++ {
+		darkRes(b, fmt.Sprintf("res4_%d", i+1), 512)
+	}
+	b.Conv("down5", 1024, 3, 2)
+	for i := 0; i < 4; i++ {
+		darkRes(b, fmt.Sprintf("res5_%d", i+1), 1024)
+	}
+
+	// Detection head at 13×13 (stride 32).
+	yoloHead(b, "head13", 1024)
+
+	// Upsample path to 26×26: 1×1 reduce, upsample (no MACs), concat with
+	// the 512-channel backbone feature map, head.
+	b.SetShape(13, 13, 512)
+	b.Conv("up26_reduce", 256, 1, 1)
+	b.SetShape(26, 26, 256+512)
+	yoloHead(b, "head26", 512)
+
+	// Upsample path to 52×52.
+	b.SetShape(26, 26, 256)
+	b.Conv("up52_reduce", 128, 1, 1)
+	b.SetShape(52, 52, 128+256)
+	yoloHead(b, "head52", 256)
+
+	return b.MustBuild()
+}
+
+// TinyYOLO builds the Tiny YOLO (v2-tiny style) object detector
+// (416×416×3 input, ~3.5 GMACs, ~11 M parameters).
+func TinyYOLO() *Network {
+	b := NewBuilder("Tiny YOLO", "detection", 416, 416, 3)
+	b.Conv("conv1", 16, 3, 1)
+	b.Pool("pool1", 2, 2)
+	b.Conv("conv2", 32, 3, 1)
+	b.Pool("pool2", 2, 2)
+	b.Conv("conv3", 64, 3, 1)
+	b.Pool("pool3", 2, 2)
+	b.Conv("conv4", 128, 3, 1)
+	b.Pool("pool4", 2, 2)
+	b.Conv("conv5", 256, 3, 1)
+	b.Pool("pool5", 2, 2)
+	b.Conv("conv6", 512, 3, 1)
+	b.Pool("pool6", 2, 1)
+	b.Conv("conv7", 1024, 3, 1)
+	b.Conv("conv8", 512, 3, 1)
+	b.Conv("pred", 255, 1, 1)
+	return b.MustBuild()
+}

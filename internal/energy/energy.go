@@ -1,0 +1,251 @@
+// Package energy provides the energy, area, and power models for the
+// Planaria simulator. The paper extracted these from Synopsys DC synthesis
+// at FreePDK-45nm, CACTI-P (SRAM), and McPAT (buses); this package
+// substitutes documented per-component constants in the same technology
+// class, calibrated so the fission-support overhead reproduces the
+// paper's reported 12.6% area / 20.6% power (Fig 19). Energy *comparisons*
+// between designs depend on operation and data-movement counts produced
+// by the cycle model, not on the absolute pJ values.
+package energy
+
+import (
+	"fmt"
+
+	"planaria/internal/arch"
+)
+
+// Params holds per-operation energy constants (picojoules).
+type Params struct {
+	// MACpJ is one 8-bit multiply-accumulate (45 nm class).
+	MACpJ float64
+	// SRAMpJPerByte is one byte of large on-chip SRAM traffic (CACTI-P
+	// class for multi-megabyte banked scratchpads).
+	SRAMpJPerByte float64
+	// RegPJPerByte is one byte through a pipeline register stage.
+	RegPJPerByte float64
+	// DRAMpJPerByte is one byte of off-chip DRAM traffic including I/O.
+	DRAMpJPerByte float64
+	// HopPJPerByte is one byte over one ring-bus hop — 0.64 pJ/bit from
+	// the paper's McPAT model (§VI-A).
+	HopPJPerByte float64
+	// VectorPJPerOp is one SIMD vector-unit operation.
+	VectorPJPerOp float64
+	// LeakageWPerMM2 is static power density for logic area.
+	LeakageWPerMM2 float64
+}
+
+// Default returns the 45 nm-class constants used throughout the
+// evaluation.
+func Default() Params {
+	return Params{
+		MACpJ:          0.25,
+		SRAMpJPerByte:  1.0,
+		RegPJPerByte:   0.06,
+		DRAMpJPerByte:  25.0,
+		HopPJPerByte:   0.64 * 8,
+		VectorPJPerOp:  0.10,
+		LeakageWPerMM2: 0.030,
+	}
+}
+
+// Account accumulates the operation and data-movement counts of some unit
+// of work (a tile, a layer, a whole inference). Joules converts the
+// counts to energy under a Params set.
+type Account struct {
+	MACs      int64
+	SRAMBytes int64
+	RegBytes  int64
+	DRAMBytes int64
+	HopBytes  int64 // byte·hops over ring buses / inter-pod links
+	VectorOps int64
+	Cycles    int64 // occupancy, for leakage
+	LeakWatts float64
+	FreqMHz   int
+}
+
+// Add accumulates another account into a.
+func (a *Account) Add(b Account) {
+	a.MACs += b.MACs
+	a.SRAMBytes += b.SRAMBytes
+	a.RegBytes += b.RegBytes
+	a.DRAMBytes += b.DRAMBytes
+	a.HopBytes += b.HopBytes
+	a.VectorOps += b.VectorOps
+	a.Cycles += b.Cycles
+	if b.LeakWatts > a.LeakWatts {
+		a.LeakWatts = b.LeakWatts
+	}
+	if b.FreqMHz > a.FreqMHz {
+		a.FreqMHz = b.FreqMHz
+	}
+}
+
+// Scale multiplies every count by n (sequential repetition).
+func (a Account) Scale(n int64) Account {
+	a.MACs *= n
+	a.SRAMBytes *= n
+	a.RegBytes *= n
+	a.DRAMBytes *= n
+	a.HopBytes *= n
+	a.VectorOps *= n
+	a.Cycles *= n
+	return a
+}
+
+// Joules converts the account to energy. Leakage integrates LeakWatts
+// over the occupied cycles at FreqMHz.
+func (a Account) Joules(p Params) float64 {
+	dyn := (float64(a.MACs)*p.MACpJ +
+		float64(a.SRAMBytes)*p.SRAMpJPerByte +
+		float64(a.RegBytes)*p.RegPJPerByte +
+		float64(a.DRAMBytes)*p.DRAMpJPerByte +
+		float64(a.HopBytes)*p.HopPJPerByte +
+		float64(a.VectorOps)*p.VectorPJPerOp) * 1e-12
+	leak := 0.0
+	if a.FreqMHz > 0 {
+		leak = a.LeakWatts * float64(a.Cycles) / (float64(a.FreqMHz) * 1e6)
+	}
+	return dyn + leak
+}
+
+// Component is one row of the Fig 19 area/power breakdown.
+type Component struct {
+	Name     string
+	AreaMM2  float64
+	PowerW   float64
+	Overhead bool // true if added to support dynamic fission
+}
+
+// Breakdown is the chip's component-level area/power model.
+type Breakdown struct {
+	Components []Component
+}
+
+// Per-component constants (45 nm class). Area in µm² per instance unless
+// noted; dynamic power computed at full activity and 700 MHz. Calibrated
+// so the Planaria() configuration reproduces the paper's ~12.6% area and
+// ~20.6% power overhead for fission support.
+const (
+	macAreaUM2       = 800.0  // 8-bit MAC + accumulator per PE
+	pipeRegAreaUM2   = 160.0  // intra-array pipeline registers per PE
+	omniMuxAreaUM2   = 90.0   // omni-directional mux/demux pairs per PE
+	simdLaneAreaUM2  = 7000.0 // one SIMD vector lane
+	ctrlAreaMM2      = 0.35   // base control + one instruction buffer + PC
+	xbarPortAreaUM2  = 4300.0 // one crossbar port (area scales ~radix²)
+	instrBufAreaMM2  = 0.012  // one added 4 KB instruction buffer + PC
+	configRegAreaMM2 = 0.001  // one subarray's double-buffered 6-bit regs
+
+	macPowerW      = 2.87e-4 // per PE at full activity
+	pipeRegPowerW  = 0.84e-4 // per PE
+	omniMuxPowerW  = 0.45e-4
+	simdLanePowerW = 3.1e-3 // per lane
+	ctrlPowerW     = 0.10
+	xbarPowerW     = 0.0375 // per pod per crossbar
+	ringPowerW     = 0.012  // per subarray ring-bus stop (pipeline regs)
+	instrBufPowerW = 0.004  // per added instruction buffer
+	simdSegPowerW  = 0.0033 // per added SIMD segment controller
+)
+
+// AreaPowerBreakdown builds the Fig 19 component model for a
+// configuration. On-chip activation/weight/output SRAM is excluded, as in
+// the paper ("without considering on-chip buffers that are the same as
+// [the] one used in PREMA"). The fission-overhead components scale with
+// the subarray count, which is what drives the Fig 18 granularity
+// trade-off.
+func AreaPowerBreakdown(cfg arch.Config) Breakdown {
+	pes := float64(cfg.ArrayRows * cfg.ArrayCols)
+	lanes := float64(cfg.ArrayCols)
+	nSub := cfg.NumSubarrays()
+	perPod := cfg.SubarraysPerPod()
+
+	var b Breakdown
+	add := func(name string, area, power float64, overhead bool) {
+		b.Components = append(b.Components, Component{name, area, power, overhead})
+	}
+
+	// Baseline components (present in any systolic accelerator).
+	add("MAC units", pes*macAreaUM2/1e6, pes*macPowerW, false)
+	add("Pipeline registers", pes*pipeRegAreaUM2/1e6, pes*pipeRegPowerW, false)
+	add("SIMD vector unit", lanes*simdLaneAreaUM2/1e6, lanes*simdLanePowerW, false)
+	add("Control + instruction buffer", ctrlAreaMM2, ctrlPowerW, false)
+
+	if nSub > 1 {
+		// Fission-support additions.
+		add("Omni-directional muxes", pes*omniMuxAreaUM2/1e6, pes*omniMuxPowerW, true)
+		// Two crossbars per pod; port count = 2 × subarrays-per-pod,
+		// area grows with the square of the radix.
+		ports := float64(2 * perPod)
+		xbarArea := float64(cfg.Pods) * 2 * ports * ports * xbarPortAreaUM2 / 1e6 / 8
+		xbarPower := float64(cfg.Pods) * 2 * xbarPowerW * (ports * ports) / 64
+		add("Fission Pod crossbars", xbarArea, xbarPower, true)
+		add("Ring-bus pipeline stages", float64(nSub)*0.004, float64(nSub)*ringPowerW, true)
+		add("SIMD segmentation", float64(nSub-1)*0.012, float64(nSub-1)*simdSegPowerW, true)
+		add("Instruction buffer additions", float64(nSub-1)*instrBufAreaMM2, float64(nSub-1)*instrBufPowerW, true)
+		add("Configuration registers", float64(nSub)*configRegAreaMM2, float64(nSub)*0.0002, true)
+	}
+	return b
+}
+
+// Totals returns the summed area (mm²) and power (W).
+func (b Breakdown) Totals() (area, power float64) {
+	for _, c := range b.Components {
+		area += c.AreaMM2
+		power += c.PowerW
+	}
+	return area, power
+}
+
+// OverheadFraction returns the fission-support share of area and power
+// relative to the baseline components (the paper's Fig 19 metric).
+func (b Breakdown) OverheadFraction() (areaFrac, powerFrac float64) {
+	var baseA, baseP, ovA, ovP float64
+	for _, c := range b.Components {
+		if c.Overhead {
+			ovA += c.AreaMM2
+			ovP += c.PowerW
+		} else {
+			baseA += c.AreaMM2
+			baseP += c.PowerW
+		}
+	}
+	if baseA == 0 || baseP == 0 {
+		return 0, 0
+	}
+	return ovA / baseA, ovP / baseP
+}
+
+// LeakageWatts estimates the chip's static power from the logic area.
+func LeakageWatts(cfg arch.Config, p Params) float64 {
+	area, _ := AreaPowerBreakdown(cfg).Totals()
+	return area * p.LeakageWPerMM2
+}
+
+// OverheadWatts returns the dynamic power of the fission-support logic
+// (omni-directional muxes, crossbars, ring-bus stages, extra sequencers)
+// that runs whenever the chip is active. Finer fission granularity costs
+// more here — the energy side of the Fig 18 trade-off. Zero for a
+// monolithic design.
+func OverheadWatts(cfg arch.Config) float64 {
+	var w float64
+	for _, c := range AreaPowerBreakdown(cfg).Components {
+		if c.Overhead {
+			w += c.PowerW
+		}
+	}
+	return w
+}
+
+// String renders the breakdown as an aligned table.
+func (b Breakdown) String() string {
+	s := fmt.Sprintf("%-32s %10s %10s %s\n", "component", "area(mm2)", "power(W)", "overhead")
+	for _, c := range b.Components {
+		ov := ""
+		if c.Overhead {
+			ov = "yes"
+		}
+		s += fmt.Sprintf("%-32s %10.3f %10.3f %s\n", c.Name, c.AreaMM2, c.PowerW, ov)
+	}
+	a, p := b.Totals()
+	s += fmt.Sprintf("%-32s %10.3f %10.3f\n", "total", a, p)
+	return s
+}

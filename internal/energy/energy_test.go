@@ -1,0 +1,118 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"planaria/internal/arch"
+)
+
+func TestAccountJoules(t *testing.T) {
+	p := Default()
+	a := Account{MACs: 1e12}
+	want := 1e12 * p.MACpJ * 1e-12
+	if got := a.Joules(p); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Joules = %g, want %g", got, want)
+	}
+}
+
+func TestAccountAddAndScale(t *testing.T) {
+	a := Account{MACs: 10, SRAMBytes: 20, DRAMBytes: 5, Cycles: 100}
+	b := Account{MACs: 1, SRAMBytes: 2, DRAMBytes: 3, Cycles: 4, HopBytes: 7}
+	a.Add(b)
+	if a.MACs != 11 || a.SRAMBytes != 22 || a.DRAMBytes != 8 || a.Cycles != 104 || a.HopBytes != 7 {
+		t.Fatalf("Add result %+v", a)
+	}
+	s := b.Scale(3)
+	if s.MACs != 3 || s.HopBytes != 21 || s.Cycles != 12 {
+		t.Fatalf("Scale result %+v", s)
+	}
+}
+
+func TestJoulesMonotone(t *testing.T) {
+	p := Default()
+	f := func(m, s, d uint16) bool {
+		a := Account{MACs: int64(m), SRAMBytes: int64(s), DRAMBytes: int64(d)}
+		b := a
+		b.MACs++
+		return b.Joules(p) > a.Joules(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakageIntegration(t *testing.T) {
+	p := Default()
+	a := Account{Cycles: 700e6, FreqMHz: 700, LeakWatts: 2.0}
+	// 700e6 cycles at 700 MHz = 1 second → 2 J of leakage.
+	if got := a.Joules(p); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("leakage Joules = %g, want 2.0", got)
+	}
+}
+
+func TestHopEnergyMatchesPaper(t *testing.T) {
+	// The paper gives 0.64 pJ/bit per hop.
+	if got := Default().HopPJPerByte; math.Abs(got-5.12) > 1e-12 {
+		t.Fatalf("HopPJPerByte = %g, want 5.12 (= 0.64 pJ/bit × 8)", got)
+	}
+}
+
+func TestBreakdownOverheadCalibration(t *testing.T) {
+	b := AreaPowerBreakdown(arch.Planaria())
+	aFrac, pFrac := b.OverheadFraction()
+	t.Logf("area overhead %.1f%%, power overhead %.1f%%", aFrac*100, pFrac*100)
+	// Paper (Fig 19): 12.6% area, 20.6% power.
+	if aFrac < 0.10 || aFrac > 0.16 {
+		t.Errorf("area overhead %.1f%% outside [10%%,16%%]", aFrac*100)
+	}
+	if pFrac < 0.17 || pFrac > 0.25 {
+		t.Errorf("power overhead %.1f%% outside [17%%,25%%]", pFrac*100)
+	}
+}
+
+func TestBreakdownMonolithicHasNoOverhead(t *testing.T) {
+	b := AreaPowerBreakdown(arch.Monolithic())
+	for _, c := range b.Components {
+		if c.Overhead {
+			t.Errorf("monolithic design lists overhead component %q", c.Name)
+		}
+	}
+	a, p := b.Totals()
+	if a <= 0 || p <= 0 {
+		t.Fatalf("totals = %g mm², %g W", a, p)
+	}
+}
+
+func TestBreakdownGranularityTrend(t *testing.T) {
+	// Finer fission granularity must cost more overhead area and power.
+	var prevA, prevP float64
+	for _, g := range []int{64, 32, 16} {
+		b := AreaPowerBreakdown(arch.Planaria().WithGranularity(g))
+		var ovA, ovP float64
+		for _, c := range b.Components {
+			if c.Overhead {
+				ovA += c.AreaMM2
+				ovP += c.PowerW
+			}
+		}
+		if ovA <= prevA || ovP <= prevP {
+			t.Errorf("g=%d: overhead (%.3f mm², %.3f W) not above coarser granularity (%.3f, %.3f)",
+				g, ovA, ovP, prevA, prevP)
+		}
+		prevA, prevP = ovA, ovP
+	}
+}
+
+func TestLeakagePositive(t *testing.T) {
+	if w := LeakageWatts(arch.Planaria(), Default()); w <= 0 || w > 10 {
+		t.Fatalf("LeakageWatts = %g, want small positive", w)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	if s := AreaPowerBreakdown(arch.Planaria()).String(); len(s) == 0 {
+		t.Fatal("empty breakdown table")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"planaria/internal/workload"
+)
+
+func TestSchedulerAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep")
+	}
+	s := testSuite(t)
+	rows, err := s.SchedulerAblation(workload.ScenarioC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (3 QoS × 4 policies)", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.QoS+"|"+r.Policy] = r.QPS
+	}
+	for _, q := range []string{"QoS-S", "QoS-M", "QoS-H"} {
+		spatial := byKey[q+"|spatial (Alg. 1)"]
+		equal := byKey[q+"|equal-share"]
+		fcfs := byKey[q+"|fcfs"]
+		prema := byKey[q+"|prema (monolithic)"]
+		// Algorithm 1 must dominate the naive spatial policy, which must
+		// dominate run-to-completion on the mixed workload.
+		if spatial < equal {
+			t.Errorf("%s: spatial %.1f < equal-share %.1f", q, spatial, equal)
+		}
+		if equal < fcfs {
+			t.Errorf("%s: equal-share %.1f < fcfs %.1f on the mixed workload", q, equal, fcfs)
+		}
+		// The full system must beat the monolithic temporal baseline.
+		if spatial < prema {
+			t.Errorf("%s: spatial %.1f < prema %.1f", q, spatial, prema)
+		}
+	}
+	if out := FormatSchedulerAblation(rows); !strings.Contains(out, "equal-share") {
+		t.Error("format missing policies")
+	}
+}
+
+func TestOmniAblationNeverFaster(t *testing.T) {
+	rows, err := OmniAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Removing shapes can never improve the compiled latency.
+		if r.NoOmniCycles < r.FullCycles {
+			t.Errorf("%s: restricted search faster (%d < %d)", r.Model, r.NoOmniCycles, r.FullCycles)
+		}
+		if r.SlowdownPct < -1e-9 {
+			t.Errorf("%s: negative slowdown %f", r.Model, r.SlowdownPct)
+		}
+	}
+	if out := FormatOmniAblation(rows); !strings.Contains(out, "slowdown") {
+		t.Error("format missing header")
+	}
+}
+
+func TestExtendedGranularityContainsFig18(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.ExtendedGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	edp := map[int]float64{}
+	for _, r := range rows {
+		edp[r.Granularity] = r.RelativeEDP
+	}
+	if edp[32] != 1.0 {
+		t.Errorf("32x32 EDP = %g, want normalized 1.0", edp[32])
+	}
+	// The overhead trend must keep growing below 16: 8×8 is worse than
+	// 16×16.
+	if edp[8] <= edp[16] {
+		t.Errorf("8x8 EDP %.3f not above 16x16 %.3f", edp[8], edp[16])
+	}
+	if edp[32] > edp[16] || edp[32] > edp[64] {
+		t.Errorf("EDP minimum not at 32x32: %v", edp)
+	}
+}
+
+func TestPenaltySensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep")
+	}
+	s := testSuite(t)
+	rows, err := s.PenaltySensitivity(workload.ScenarioC(), workload.QoSMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Throughput must not increase as preemption gets dearer, and free
+	// preemption must be at least as good as 100x penalties.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].QPS > rows[i-1].QPS*1.15 { // 15% search tolerance
+			t.Errorf("throughput rose with penalty scale: %.1f@%g > %.1f@%g",
+				rows[i].QPS, rows[i].Scale, rows[i-1].QPS, rows[i-1].Scale)
+		}
+	}
+	if rows[0].QPS <= 0 {
+		t.Fatal("no sustainable throughput at near-free preemption")
+	}
+	out := FormatPenaltySensitivity(workload.ScenarioC(), workload.QoSMedium, rows)
+	if len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

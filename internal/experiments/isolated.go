@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"planaria/internal/arch"
+	"planaria/internal/dnn"
+	"planaria/internal/energy"
+	"planaria/internal/metrics"
+	"planaria/internal/model"
+	"planaria/internal/workload"
+)
+
+// Fig16Row is one scale-out point: the minimum node count for 99% SLA.
+type Fig16Row struct {
+	Workload string
+	QoS      string
+	RateQPS  float64
+	Nodes    int // MaxNodes+1 means "not achievable within MaxNodes"
+}
+
+// Fig16MaxNodes bounds the scale-out search.
+const Fig16MaxNodes = 10
+
+// Fig16ScaleOut finds the minimum number of Planaria nodes that meets the
+// SLA at a constant rate across all workloads and QoS levels (the paper
+// uses a single constant throughput; we use 100 QPS, which spans 1 to
+// >10 nodes across the sweep).
+func (s *Suite) Fig16ScaleOut(rate float64) ([]Fig16Row, error) {
+	var rows []Fig16Row
+	for _, sc := range workload.Scenarios() {
+		for _, lvl := range workload.Levels {
+			n, err := metrics.MinNodes(s.Planaria, sc, lvl, rate, Fig16MaxNodes, s.Opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig16Row{Workload: sc.Name, QoS: lvl.Name, RateQPS: rate, Nodes: n})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig16 renders the scale-out table.
+func FormatFig16(rows []Fig16Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 16 — Minimum Planaria nodes for SLA at a constant rate\n")
+	fmt.Fprintf(&b, "%-12s %-6s %10s %6s\n", "workload", "qos", "rate(qps)", "nodes")
+	for _, r := range rows {
+		nodes := fmt.Sprintf("%d", r.Nodes)
+		if r.Nodes > Fig16MaxNodes {
+			nodes = fmt.Sprintf(">%d", Fig16MaxNodes)
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %10.1f %6s\n", r.Workload, r.QoS, r.RateQPS, nodes)
+	}
+	return b.String()
+}
+
+// Fig17Row is one isolated single-DNN comparison against the conventional
+// monolithic systolic accelerator with identical resources.
+type Fig17Row struct {
+	Model           string
+	Speedup         float64
+	EnergyReduction float64
+}
+
+// Fig17Isolated reproduces the isolated inference comparison: Planaria
+// (fission enabled, whole chip) vs a conventional systolic accelerator
+// (same PEs, buffers, frequency, bandwidth).
+func (s *Suite) Fig17Isolated() ([]Fig17Row, error) {
+	params := energy.Default()
+	plIdle := energy.LeakageWatts(s.Planaria.Cfg, params) + energy.OverheadWatts(s.Planaria.Cfg)
+	prIdle := energy.LeakageWatts(s.PREMA.Cfg, params) + energy.OverheadWatts(s.PREMA.Cfg)
+	var rows []Fig17Row
+	for _, name := range dnn.Names {
+		pTab := s.Planaria.Programs[name].Table(s.Planaria.Cfg.NumSubarrays())
+		mTab := s.PREMA.Programs[name].Table(1)
+		pT := s.Planaria.Cfg.Seconds(pTab.TotalCycles)
+		mT := s.PREMA.Cfg.Seconds(mTab.TotalCycles)
+		pJ := pTab.Acct.Joules(params) + plIdle*pT
+		mJ := mTab.Acct.Joules(params) + prIdle*mT
+		rows = append(rows, Fig17Row{
+			Model:           name,
+			Speedup:         mT / pT,
+			EnergyReduction: mJ / pJ,
+		})
+	}
+	// Geometric means, as the paper reports averages across benchmarks.
+	gs, ge := 1.0, 1.0
+	for _, r := range rows {
+		gs *= r.Speedup
+		ge *= r.EnergyReduction
+	}
+	n := float64(len(rows))
+	rows = append(rows, Fig17Row{
+		Model:           "geomean",
+		Speedup:         math.Pow(gs, 1/n),
+		EnergyReduction: math.Pow(ge, 1/n),
+	})
+	return rows, nil
+}
+
+// FormatFig17 renders the isolated comparison.
+func FormatFig17(rows []Fig17Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 17 — Isolated single-DNN inference vs conventional systolic accelerator\n")
+	fmt.Fprintf(&b, "%-16s %8s %14s\n", "model", "speedup", "energy-reduct")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %7.2fx %13.2fx\n", r.Model, r.Speedup, r.EnergyReduction)
+	}
+	return b.String()
+}
+
+// Fig18Row is one fission-granularity design point.
+type Fig18Row struct {
+	Granularity int
+	RelativeEDP float64 // normalized to the 32×32 point
+	MeanDelayS  float64
+	MeanJ       float64
+}
+
+// Fig18Granularity sweeps the fission granularity (16×16, 32×32, 64×64
+// subarrays) and reports the mean EDP across the nine benchmarks running
+// in isolation — the DSE that selected 32×32 (§VI-B2).
+func (s *Suite) Fig18Granularity() ([]Fig18Row, error) {
+	params := energy.Default()
+	granularities := []int{16, 32, 64}
+	perNet := make(map[int]map[string]float64) // g → net → EDP
+	rows := make([]Fig18Row, 0, len(granularities))
+	for _, g := range granularities {
+		cfg := arch.Planaria().WithGranularity(g)
+		idle := energy.LeakageWatts(cfg, params) + energy.OverheadWatts(cfg)
+		perNet[g] = make(map[string]float64, len(dnn.Names))
+		var sumT, sumJ float64
+		for _, name := range dnn.Names {
+			net, err := dnn.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := model.NetworkOnAlloc(net, cfg, cfg.NumSubarrays(), true)
+			if err != nil {
+				return nil, err
+			}
+			t := cfg.Seconds(res.Cycles)
+			j := res.Acct.Joules(params) + idle*t
+			perNet[g][name] = t * j
+			sumT += t
+			sumJ += j
+		}
+		n := float64(len(dnn.Names))
+		rows = append(rows, Fig18Row{Granularity: g, MeanDelayS: sumT / n, MeanJ: sumJ / n})
+	}
+	// Relative EDP: per-network ratio to the 32×32 point, geometric mean
+	// across networks (an arithmetic mean of absolute EDPs would be
+	// dominated by the slowest network).
+	for i := range rows {
+		g := rows[i].Granularity
+		prod := 1.0
+		for _, name := range dnn.Names {
+			prod *= perNet[g][name] / perNet[32][name]
+		}
+		rows[i].RelativeEDP = math.Pow(prod, 1/float64(len(dnn.Names)))
+	}
+	return rows, nil
+}
+
+// FormatFig18 renders the granularity DSE.
+func FormatFig18(rows []Fig18Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 18 — Fission granularity DSE (mean across benchmarks, isolated)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "granularity", "rel. EDP", "delay(ms)", "energy(J)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%dx%-9d %12.3f %12.3f %12.4f\n",
+			r.Granularity, r.Granularity, r.RelativeEDP, r.MeanDelayS*1e3, r.MeanJ)
+	}
+	return b.String()
+}
+
+// Fig19Breakdown returns the component-level area/power model and the
+// fission overhead fractions.
+func Fig19Breakdown() (energy.Breakdown, float64, float64) {
+	b := energy.AreaPowerBreakdown(arch.Planaria())
+	a, p := b.OverheadFraction()
+	return b, a, p
+}
+
+// FormatFig19 renders the breakdown.
+func FormatFig19() string {
+	b, a, p := Fig19Breakdown()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 19 — Planaria area/power breakdown (45 nm class, buffers excluded)\n")
+	sb.WriteString(b.String())
+	fmt.Fprintf(&sb, "fission overhead: %.1f%% area, %.1f%% power (paper: 12.6%%, 20.6%%)\n", a*100, p*100)
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/dnn"
+	"planaria/internal/energy"
+)
+
+// ProfileRow is one layer of a compiled-network profile.
+type ProfileRow struct {
+	Layer   string
+	Kind    string
+	Shape   arch.Shape
+	Cycles  int64
+	Tiles   int64
+	UtilPct float64
+	EnergyU float64 // microjoules
+	Omni    bool
+}
+
+// Profile compiles a network for an allocation and returns the per-layer
+// execution plan — the contents of the configuration table the runtime
+// scheduler consults (Fig 11).
+func Profile(name string, s int) ([]ProfileRow, error) {
+	net, err := dnn.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := arch.Planaria()
+	tab, err := compiler.Compile(net, cfg, s, true)
+	if err != nil {
+		return nil, err
+	}
+	params := energy.Default()
+	rows := make([]ProfileRow, 0, len(tab.Layers))
+	for _, lp := range tab.Layers {
+		l := &net.Layers[lp.LayerIdx]
+		rows = append(rows, ProfileRow{
+			Layer:   l.Name,
+			Kind:    l.Kind.String(),
+			Shape:   lp.Shape,
+			Cycles:  lp.Cycles,
+			Tiles:   lp.Tiles,
+			UtilPct: lp.Util * 100,
+			EnergyU: lp.Acct.Joules(params) * 1e6,
+			Omni:    lp.Shape.UsesOmniDirectional(cfg),
+		})
+	}
+	return rows, nil
+}
+
+// FormatProfile renders a per-layer profile.
+func FormatProfile(name string, s int, rows []ProfileRow) string {
+	var b strings.Builder
+	var totalCycles int64
+	var totalE float64
+	fmt.Fprintf(&b, "Profile — %s on %d subarray(s)\n", name, s)
+	fmt.Fprintf(&b, "%-22s %-10s %-14s %12s %8s %7s %10s %4s\n",
+		"layer", "kind", "shape", "cycles", "tiles", "util", "energy(uJ)", "omni")
+	for _, r := range rows {
+		omni := ""
+		if r.Omni {
+			omni = "yes"
+		}
+		fmt.Fprintf(&b, "%-22s %-10s %-14s %12d %8d %6.1f%% %10.2f %4s\n",
+			r.Layer, r.Kind, r.Shape.String(), r.Cycles, r.Tiles, r.UtilPct, r.EnergyU, omni)
+		totalCycles += r.Cycles
+		totalE += r.EnergyU
+	}
+	cfg := arch.Planaria()
+	fmt.Fprintf(&b, "total: %d cycles (%.3f ms at %d MHz), %.1f uJ dynamic\n",
+		totalCycles, cfg.Seconds(totalCycles)*1e3, cfg.FreqMHz, totalE)
+	return b.String()
+}

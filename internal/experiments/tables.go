@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"planaria/internal/arch"
+	"planaria/internal/dnn"
+	"planaria/internal/workload"
+)
+
+// FormatTable1 renders Table I: the workload scenarios and their models.
+func FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — Workload scenarios and benchmark DNNs\n")
+	for _, sc := range workload.Scenarios() {
+		fmt.Fprintf(&b, "%s:\n", sc.Name)
+		for _, m := range sc.Models {
+			net := dnn.MustByName(m)
+			fmt.Fprintf(&b, "  %-16s %-14s %7.2f GMACs %7.1fM params  QoS-S %.0f ms\n",
+				m, net.Domain, float64(net.TotalMACs())/1e9, float64(net.TotalParams())/1e6,
+				workload.BaseQoSSeconds[m]*1e3)
+		}
+	}
+	return b.String()
+}
+
+// Table2Cell is one fission configuration's usage by one DNN.
+type Table2Cell struct {
+	Shape   arch.Shape
+	OD      bool // needs the omni-directional feature
+	Model   string
+	Percent float64 // % of the model's GEMM layers choosing this shape
+}
+
+// Table2Sensitivity reproduces Table II: per DNN, the percentage of
+// (GEMM) layers whose compiled configuration is each fission shape, when
+// the whole 16-subarray accelerator is dedicated to the network.
+func (s *Suite) Table2Sensitivity() ([]Table2Cell, error) {
+	cfg := s.Planaria.Cfg
+	var cells []Table2Cell
+	for _, name := range dnn.Names {
+		net, err := dnn.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tab := s.Planaria.Programs[name].Table(cfg.NumSubarrays())
+		counts := map[arch.Shape]int{}
+		gemms := 0
+		for _, lp := range tab.Layers {
+			if !net.Layers[lp.LayerIdx].Kind.IsGEMM() {
+				continue
+			}
+			gemms++
+			counts[lp.Shape]++
+		}
+		if gemms == 0 {
+			continue
+		}
+		for sh, c := range counts {
+			cells = append(cells, Table2Cell{
+				Shape:   sh,
+				OD:      sh.UsesOmniDirectional(cfg),
+				Model:   name,
+				Percent: 100 * float64(c) / float64(gemms),
+			})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Shape != b.Shape {
+			if a.Shape.Clusters != b.Shape.Clusters {
+				return a.Shape.Clusters > b.Shape.Clusters
+			}
+			if a.Shape.H != b.Shape.H {
+				return a.Shape.H < b.Shape.H
+			}
+			return a.Shape.W < b.Shape.W
+		}
+		return a.Model < b.Model
+	})
+	return cells, nil
+}
+
+// FormatTable2 renders the layer-sensitivity table grouped by shape.
+func FormatTable2(cells []Table2Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — Layer sensitivity to fission configurations (whole chip per DNN)\n")
+	var cur arch.Shape
+	first := true
+	for _, c := range cells {
+		if first || c.Shape != cur {
+			od := ""
+			if c.OD {
+				od = "  [omni-directional]"
+			}
+			fmt.Fprintf(&b, "%s  P=%dx IAR=%dx PSR=%dx%s\n",
+				c.Shape.String(), c.Shape.Clusters, c.Shape.W, c.Shape.H, od)
+			cur = c.Shape
+			first = false
+		}
+		fmt.Fprintf(&b, "    %-16s %5.1f%%\n", c.Model, c.Percent)
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+// Package isa defines the macro-instruction set the Planaria compiler
+// emits and the per-subarray instruction buffers execute (§IV-C: each
+// subarray has a designated PC and a 4 KB instruction buffer; instructions
+// for the next tile/configuration are prefetched while the current ones
+// drain). Instructions are fixed-width 16-byte words, so a 4 KB buffer
+// holds 256 of them.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcode enumerates the macro operations.
+type Opcode uint8
+
+const (
+	// OpConfig loads a fission configuration: A = shape clusters,
+	// B = cluster H (subarrays), C = cluster W.
+	OpConfig Opcode = iota
+	// OpLoadWeights brings a weight tile into the subarray weight
+	// buffers: A = K-tile index, B = N-tile index.
+	OpLoadWeights
+	// OpLoadActs stages an activation chunk in Pod Memory:
+	// A = M-chunk index, B = chunk rows.
+	OpLoadActs
+	// OpMatMul streams a tile through the systolic cluster: A = rows.
+	OpMatMul
+	// OpVector runs SIMD vector work (bias/activation/pooling):
+	// A = op count (low 32 bits), B = op count (high 32 bits).
+	OpVector
+	// OpStore drains an output tile to Pod Memory / DRAM.
+	OpStore
+	// OpSync barriers the clusters of a logical accelerator.
+	OpSync
+	// OpHalt ends the binary.
+	OpHalt
+)
+
+var opNames = [...]string{
+	"CONFIG", "LDW", "LDA", "MATMUL", "VECTOR", "STORE", "SYNC", "HALT",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// InstrBytes is the fixed instruction width.
+const InstrBytes = 16
+
+// Instruction is one 16-byte macro instruction.
+type Instruction struct {
+	Op    Opcode
+	Layer uint16 // layer index the instruction belongs to
+	A     uint32
+	B     uint32
+	C     uint32
+}
+
+// Encode packs the instruction into its 16-byte wire form.
+func (in Instruction) Encode() [InstrBytes]byte {
+	var b [InstrBytes]byte
+	b[0] = byte(in.Op)
+	binary.LittleEndian.PutUint16(b[2:4], in.Layer)
+	binary.LittleEndian.PutUint32(b[4:8], in.A)
+	binary.LittleEndian.PutUint32(b[8:12], in.B)
+	binary.LittleEndian.PutUint32(b[12:16], in.C)
+	return b
+}
+
+// Decode unpacks a 16-byte wire word.
+func Decode(b [InstrBytes]byte) Instruction {
+	return Instruction{
+		Op:    Opcode(b[0]),
+		Layer: binary.LittleEndian.Uint16(b[2:4]),
+		A:     binary.LittleEndian.Uint32(b[4:8]),
+		B:     binary.LittleEndian.Uint32(b[8:12]),
+		C:     binary.LittleEndian.Uint32(b[12:16]),
+	}
+}
+
+// String renders a readable disassembly line.
+func (in Instruction) String() string {
+	return fmt.Sprintf("%-6s L%-3d %d %d %d", in.Op, in.Layer, in.A, in.B, in.C)
+}
+
+// Binary is a compiled instruction stream for one (network, allocation)
+// pair — one of the 16 binaries the compiler generates per DNN (§IV-C).
+type Binary struct {
+	Net       string
+	Subarrays int
+	Instrs    []Instruction
+}
+
+// Bytes returns the total encoded size.
+func (b *Binary) Bytes() int { return len(b.Instrs) * InstrBytes }
+
+// Marshal serializes the binary (header + instruction words).
+func (b *Binary) Marshal() []byte {
+	out := make([]byte, 0, 8+len(b.Net)+b.Bytes())
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(b.Net)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(b.Subarrays))
+	out = append(out, hdr[:]...)
+	out = append(out, b.Net...)
+	for _, in := range b.Instrs {
+		w := in.Encode()
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// Unmarshal parses a serialized binary.
+func Unmarshal(data []byte) (*Binary, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("isa: truncated header")
+	}
+	nameLen := int(binary.LittleEndian.Uint32(data[0:4]))
+	subs := int(binary.LittleEndian.Uint32(data[4:8]))
+	data = data[8:]
+	if len(data) < nameLen {
+		return nil, fmt.Errorf("isa: truncated name")
+	}
+	name := string(data[:nameLen])
+	data = data[nameLen:]
+	if len(data)%InstrBytes != 0 {
+		return nil, fmt.Errorf("isa: instruction stream length %d not a multiple of %d", len(data), InstrBytes)
+	}
+	b := &Binary{Net: name, Subarrays: subs}
+	for len(data) > 0 {
+		var w [InstrBytes]byte
+		copy(w[:], data[:InstrBytes])
+		b.Instrs = append(b.Instrs, Decode(w))
+		data = data[InstrBytes:]
+	}
+	return b, nil
+}
+
+// Validate checks the structural rules the hardware sequencer assumes:
+// a CONFIG before the first MATMUL of each layer, weights loaded before
+// each MATMUL, layer indices non-decreasing, and a final HALT.
+func (b *Binary) Validate() error {
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("isa: empty binary")
+	}
+	if b.Instrs[len(b.Instrs)-1].Op != OpHalt {
+		return fmt.Errorf("isa: binary does not end in HALT")
+	}
+	configured := false
+	weightsLoaded := false
+	lastLayer := -1
+	for i, in := range b.Instrs {
+		if int(in.Layer) < lastLayer {
+			return fmt.Errorf("isa: instr %d: layer index decreased (%d after %d)", i, in.Layer, lastLayer)
+		}
+		if int(in.Layer) > lastLayer {
+			lastLayer = int(in.Layer)
+			configured = false
+			weightsLoaded = false
+		}
+		switch in.Op {
+		case OpConfig:
+			configured = true
+		case OpLoadWeights:
+			if !configured {
+				return fmt.Errorf("isa: instr %d: LDW before CONFIG in layer %d", i, in.Layer)
+			}
+			weightsLoaded = true
+		case OpMatMul:
+			if !configured {
+				return fmt.Errorf("isa: instr %d: MATMUL before CONFIG in layer %d", i, in.Layer)
+			}
+			if !weightsLoaded {
+				return fmt.Errorf("isa: instr %d: MATMUL before LDW in layer %d", i, in.Layer)
+			}
+		case OpHalt:
+			if i != len(b.Instrs)-1 {
+				return fmt.Errorf("isa: instr %d: HALT before end", i)
+			}
+		}
+	}
+	return nil
+}

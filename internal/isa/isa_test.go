@@ -1,0 +1,109 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstructionRoundTrip(t *testing.T) {
+	f := func(op uint8, layer uint16, a, b, c uint32) bool {
+		in := Instruction{Op: Opcode(op % 8), Layer: layer, A: a, B: b, C: c}
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstructionWidth(t *testing.T) {
+	// 4 KB instruction buffer (§IV-C) must hold 256 instructions.
+	if (4<<10)/InstrBytes != 256 {
+		t.Fatalf("instruction buffer capacity = %d, want 256", (4<<10)/InstrBytes)
+	}
+}
+
+func validBinary() *Binary {
+	return &Binary{
+		Net:       "toy",
+		Subarrays: 4,
+		Instrs: []Instruction{
+			{Op: OpConfig, Layer: 0, A: 4, B: 1, C: 1},
+			{Op: OpLoadWeights, Layer: 0},
+			{Op: OpLoadActs, Layer: 0, B: 64},
+			{Op: OpMatMul, Layer: 0, A: 64},
+			{Op: OpVector, Layer: 0, A: 4096},
+			{Op: OpStore, Layer: 0},
+			{Op: OpConfig, Layer: 1, A: 1, B: 2, C: 2},
+			{Op: OpLoadWeights, Layer: 1},
+			{Op: OpMatMul, Layer: 1, A: 32},
+			{Op: OpStore, Layer: 1},
+			{Op: OpHalt, Layer: 1},
+		},
+	}
+}
+
+func TestBinaryMarshalRoundTrip(t *testing.T) {
+	b := validBinary()
+	got, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Net != b.Net || got.Subarrays != b.Subarrays || len(got.Instrs) != len(b.Instrs) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range got.Instrs {
+		if got.Instrs[i] != b.Instrs[i] {
+			t.Fatalf("instr %d mismatch: %v != %v", i, got.Instrs[i], b.Instrs[i])
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {1, 2, 3}, append(validBinary().Marshal(), 0xFF)} {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("Unmarshal accepted %d junk bytes", len(data))
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validBinary().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Binary){
+		"empty":          func(b *Binary) { b.Instrs = nil },
+		"no halt":        func(b *Binary) { b.Instrs = b.Instrs[:len(b.Instrs)-1] },
+		"matmul pre ldw": func(b *Binary) { b.Instrs[1], b.Instrs[3] = b.Instrs[3], b.Instrs[1] },
+		"matmul pre cfg": func(b *Binary) { b.Instrs[0], b.Instrs[3] = b.Instrs[3], b.Instrs[0] },
+		"layer decrease": func(b *Binary) { b.Instrs[7].Layer = 0 },
+		"early halt":     func(b *Binary) { b.Instrs[5].Op = OpHalt },
+	}
+	for name, mutate := range cases {
+		b := validBinary()
+		mutate(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed binary", name)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := OpConfig; op <= OpHalt; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has empty name", op)
+		}
+	}
+	if Opcode(200).String() != "OP(200)" {
+		t.Errorf("unknown opcode string = %q", Opcode(200).String())
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	in := Instruction{Op: OpMatMul, Layer: 3, A: 64}
+	if in.String() == "" {
+		t.Fatal("empty disassembly")
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"planaria/internal/workload"
+)
+
+// LatencyStats summarizes one group's latency distribution.
+type LatencyStats struct {
+	Count         int
+	P50, P90, P99 float64
+	Mean          float64
+	Max           float64
+	// DeadlineMissRate is the fraction of the group's requests that
+	// missed their QoS bound.
+	DeadlineMissRate float64
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted data using
+// nearest-rank.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// GroupLatencies computes per-model latency statistics from a completed
+// instance (requests plus their latencies and finish times).
+func GroupLatencies(reqs []workload.Request, latencies, finishes []float64) (map[string]LatencyStats, error) {
+	if len(reqs) != len(latencies) || len(reqs) != len(finishes) {
+		return nil, fmt.Errorf("metrics: %d requests vs %d latencies / %d finishes",
+			len(reqs), len(latencies), len(finishes))
+	}
+	byModel := map[string][]float64{}
+	misses := map[string]int{}
+	for i, r := range reqs {
+		byModel[r.Model] = append(byModel[r.Model], latencies[i])
+		if finishes[i] < 0 || finishes[i] > r.Deadline+1e-12 {
+			misses[r.Model]++
+		}
+	}
+	out := make(map[string]LatencyStats, len(byModel))
+	for model, ls := range byModel {
+		sort.Float64s(ls)
+		var sum float64
+		for _, l := range ls {
+			sum += l
+		}
+		out[model] = LatencyStats{
+			Count:            len(ls),
+			P50:              Percentile(ls, 0.50),
+			P90:              Percentile(ls, 0.90),
+			P99:              Percentile(ls, 0.99),
+			Mean:             sum / float64(len(ls)),
+			Max:              ls[len(ls)-1],
+			DeadlineMissRate: float64(misses[model]) / float64(len(ls)),
+		}
+	}
+	return out, nil
+}
+
+// FormatLatencyTable renders per-model latency statistics in
+// milliseconds, sorted by model name.
+func FormatLatencyTable(stats map[string]LatencyStats) string {
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("%-16s %5s %9s %9s %9s %9s %7s\n",
+		"model", "n", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "miss")
+	for _, n := range names {
+		st := stats[n]
+		s += fmt.Sprintf("%-16s %5d %9.2f %9.2f %9.2f %9.2f %6.1f%%\n",
+			n, st.Count, st.P50*1e3, st.P90*1e3, st.P99*1e3, st.Max*1e3,
+			st.DeadlineMissRate*100)
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"planaria/internal/workload"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 5}, {0.9, 9}, {1.0, 10}, {0.99, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(data, c.p); got != c.want {
+			t.Errorf("P%.0f = %g, want %g", c.p*100, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				data = append(data, v)
+			}
+		}
+		if len(data) == 0 {
+			return true
+		}
+		sort.Float64s(data)
+		p1 := float64(a%101) / 100
+		p2 := float64(b%101) / 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(data, p1), Percentile(data, p2)
+		// Monotone in p, bounded by min/max.
+		return v1 <= v2 && v1 >= data[0] && v2 <= data[len(data)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLatencies(t *testing.T) {
+	reqs := []workload.Request{
+		{ID: 0, Model: "a", Deadline: 1.0},
+		{ID: 1, Model: "a", Deadline: 1.0},
+		{ID: 2, Model: "b", Deadline: 0.5},
+	}
+	lats := []float64{0.1, 0.3, 0.2}
+	fins := []float64{0.1, 2.0, 0.2} // request 1 misses
+	st, err := GroupLatencies(reqs, lats, fins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["a"].Count != 2 || st["b"].Count != 1 {
+		t.Fatalf("counts %+v", st)
+	}
+	if math.Abs(st["a"].DeadlineMissRate-0.5) > 1e-12 {
+		t.Errorf("model a miss rate = %g", st["a"].DeadlineMissRate)
+	}
+	if st["b"].DeadlineMissRate != 0 {
+		t.Errorf("model b miss rate = %g", st["b"].DeadlineMissRate)
+	}
+	if math.Abs(st["a"].Mean-0.2) > 1e-12 || st["a"].Max != 0.3 {
+		t.Errorf("model a stats %+v", st["a"])
+	}
+	out := FormatLatencyTable(st)
+	if !strings.Contains(out, "p99") || !strings.Contains(out, "a") {
+		t.Error("latency table malformed")
+	}
+}
+
+func TestGroupLatenciesLengthMismatch(t *testing.T) {
+	if _, err := GroupLatencies([]workload.Request{{}}, nil, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGroupLatenciesUnfinished(t *testing.T) {
+	reqs := []workload.Request{{ID: 0, Model: "a", Deadline: 1}}
+	st, err := GroupLatencies(reqs, []float64{0}, []float64{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["a"].DeadlineMissRate != 1 {
+		t.Fatal("unfinished request not counted as a miss")
+	}
+}

@@ -1,0 +1,86 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/systolic"
+)
+
+// TestModelMatchesFunctionalSimulator is the reproduction of the paper's
+// "we verify the cycle counts with our Verilog implementations": for
+// single-tile GEMMs the analytical model's compute cycles must equal the
+// functional simulator's measured latency — including the streamed
+// weight-load phase — plus the model's per-tile dispatch constant.
+func TestModelMatchesFunctionalSimulator(t *testing.T) {
+	cfg := arch.Planaria()
+	cfg.SubRows, cfg.SubCols = 8, 8
+	cfg.ArrayRows, cfg.ArrayCols = 32, 32 // 4×4 bands of 8×8 PEs
+	rng := rand.New(rand.NewSource(42))
+
+	cases := []struct {
+		h, w, m, k, n int
+	}{
+		{1, 1, 12, 8, 8},
+		{1, 1, 5, 3, 6},
+		{1, 2, 9, 8, 16},
+		{2, 1, 7, 16, 8},
+		{2, 2, 20, 16, 16},
+		{1, 4, 6, 8, 32},
+		{4, 1, 6, 32, 8},
+	}
+	for _, c := range cases {
+		sh := arch.Shape{Clusters: 1, H: c.h, W: c.w}
+		res := GEMMOnShape(c.m, c.k, c.n, 1, 1, sh, cfg, cfg.NumSubarrays())
+		if res.Tiles != 1 {
+			t.Fatalf("%+v: model used %d tiles, cross-validation needs 1", c, res.Tiles)
+		}
+
+		g, err := systolic.New(cfg.SubRows, cfg.SubCols, c.h, c.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wts := make([][]int8, c.k)
+		for i := range wts {
+			wts[i] = make([]int8, c.n)
+			for j := range wts[i] {
+				wts[i][j] = int8(rng.Intn(256) - 128)
+			}
+		}
+		a := make([][]int8, c.m)
+		for i := range a {
+			a[i] = make([]int8, c.k)
+			for j := range a[i] {
+				a[i][j] = int8(rng.Intn(256) - 128)
+			}
+		}
+		id, err := g.AddClusterStreamLoad(systolic.ClusterSpec{BandRow: 0, BandCol: 0, H: c.h, W: c.w}, wts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(int64(10 * (c.m + c.k + c.n + 64))); err != nil {
+			t.Fatal(err)
+		}
+		drain, err := g.DrainCycle(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		functional := drain + 1
+
+		want := functional + tileOverheadCycles
+		if res.Cycles != want {
+			t.Errorf("%+v: model %d cycles, functional-with-load %d (+%d overhead = %d)",
+				c, res.Cycles, functional, tileOverheadCycles, want)
+		}
+	}
+}
+
+// TestBoundaryDelayConstantsAgree pins the model's chaining latency to the
+// functional simulator's boundary register depth.
+func TestBoundaryDelayConstantsAgree(t *testing.T) {
+	if boundaryLatency != systolic.BoundaryDelay {
+		t.Fatalf("model boundaryLatency = %d, systolic BoundaryDelay = %d",
+			boundaryLatency, systolic.BoundaryDelay)
+	}
+}

@@ -1,0 +1,275 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"planaria/internal/arch"
+	"planaria/internal/dnn"
+)
+
+func planaria() arch.Config { return arch.Planaria() }
+
+func TestSingleTileFormula(t *testing.T) {
+	// A GEMM fitting one subarray in one tile: compute cycles must be
+	// streaming (M + Kt + Nt − 1) + per-tile overhead + exposed first
+	// weight load (K−1, the streamed-load latency). This is the quantity
+	// the functional simulator cross-validates.
+	cfg := planaria()
+	sh := arch.Shape{Clusters: 1, H: 1, W: 1}
+	m, k, n := 10, 8, 12
+	// alloc=16 grants full bandwidth so the compute formula dominates.
+	r := GEMMOnShape(m, k, n, 1, 1, sh, cfg, 16)
+	want := int64(m+k+n-1) + tileOverheadCycles + int64(k-1)
+	if r.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", r.Cycles, want)
+	}
+	if r.Tiles != 1 {
+		t.Fatalf("Tiles = %d, want 1", r.Tiles)
+	}
+}
+
+func TestDepthwiseFissionSpeedup(t *testing.T) {
+	// The paper's headline microbenchmark: a depthwise layer on 16
+	// independent clusters runs ~16× faster than on one monolithic
+	// cluster with the same PE count (§VI-B2).
+	cfg := planaria()
+	l := &dnn.Layer{
+		Kind: dnn.DWConv, InH: 112, InW: 112, InC: 32, OutC: 32,
+		OutH: 112, OutW: 112, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}
+	mono := LayerOnShape(l, arch.MonolithicShape(cfg), cfg, 16)
+	fiss := LayerOnShape(l, arch.Shape{Clusters: 16, H: 1, W: 1}, cfg, 16)
+	speedup := float64(mono.Cycles) / float64(fiss.Cycles)
+	if speedup < 10 || speedup > 17 {
+		t.Fatalf("depthwise fission speedup = %.1fx, want ~16x", speedup)
+	}
+}
+
+func TestBestShapeBeatsMonolithicOnDepthwise(t *testing.T) {
+	cfg := planaria()
+	l := &dnn.Layer{
+		Kind: dnn.DWConv, InH: 56, InW: 56, InC: 256, OutC: 256,
+		OutH: 56, OutW: 56, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}
+	best := BestShape(l, cfg, 16)
+	mono := LayerOnShape(l, arch.MonolithicShape(cfg), cfg, 16)
+	if best.Cycles >= mono.Cycles {
+		t.Fatalf("BestShape (%d cy, %v) not better than monolithic (%d cy)",
+			best.Cycles, best.Shape, mono.Cycles)
+	}
+	if best.Shape.Clusters < 8 {
+		t.Errorf("depthwise best shape %v should be highly clustered", best.Shape)
+	}
+}
+
+func TestBestShapeMonotoneInAllocation(t *testing.T) {
+	cfg := planaria()
+	layers := []*dnn.Layer{
+		{Kind: dnn.Conv, InH: 56, InW: 56, InC: 64, OutC: 256, OutH: 56, OutW: 56, KH: 1, KW: 1, Stride: 1},
+		{Kind: dnn.Conv, InH: 14, InW: 14, InC: 512, OutC: 512, OutH: 14, OutW: 14, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{Kind: dnn.MatMul, M: 4, K: 1024, N: 32000},
+		{Kind: dnn.DWConv, InH: 28, InW: 28, InC: 128, OutC: 128, OutH: 28, OutW: 28, KH: 3, KW: 3, Stride: 1, Pad: 1},
+	}
+	for li, l := range layers {
+		prev := int64(1 << 62)
+		for s := 1; s <= 16; s++ {
+			r := BestShape(l, cfg, s)
+			if r.Cycles > prev {
+				t.Errorf("layer %d: cycles increased from %d to %d at s=%d", li, prev, r.Cycles, s)
+			}
+			prev = r.Cycles
+		}
+	}
+}
+
+func TestBestShapeMonotoneProperty(t *testing.T) {
+	cfg := planaria()
+	f := func(a, b, c uint8, s uint8) bool {
+		m := int(a)*16 + 1
+		k := int(b)*8 + 1
+		n := int(c)*8 + 1
+		s1 := int(s)%15 + 1
+		l := &dnn.Layer{Kind: dnn.MatMul, M: m, K: k, N: n}
+		r1 := BestShape(l, cfg, s1)
+		r2 := BestShape(l, cfg, s1+1)
+		return r2.Cycles <= r1.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFissionNeverWorseThanMonolithicExecution(t *testing.T) {
+	cfg := planaria()
+	for _, net := range dnn.All() {
+		fiss, err := NetworkOnAlloc(net, cfg, 16, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono, err := NetworkOnAlloc(net, cfg, 16, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fiss.Cycles > mono.Cycles {
+			t.Errorf("%s: fission (%d cy) worse than monolithic (%d cy)",
+				net.Name, fiss.Cycles, mono.Cycles)
+		}
+	}
+}
+
+func TestIsolatedSpeedupShape(t *testing.T) {
+	// Fig 17 shape: depthwise networks gain the most from fission; GNMT
+	// the least. Compare Planaria (fission, 16 subarrays) to the
+	// conventional monolithic accelerator with identical resources.
+	cfg := planaria()
+	conv := arch.Monolithic()
+	speedup := func(name string) float64 {
+		net := dnn.MustByName(name)
+		p, err := NetworkOnAlloc(net, cfg, 16, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NetworkOnAlloc(net, conv, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.Cycles) / float64(p.Cycles)
+	}
+	mob := speedup("MobileNet-v1")
+	eff := speedup("EfficientNet-B0")
+	gnmt := speedup("GNMT")
+	res := speedup("ResNet-50")
+	t.Logf("speedups: MobileNet %.2f, EfficientNet %.2f, ResNet %.2f, GNMT %.2f", mob, eff, res, gnmt)
+	if mob < 2 || eff < 2 {
+		t.Errorf("depthwise networks should speed up substantially: mob=%.2f eff=%.2f", mob, eff)
+	}
+	if gnmt > mob || gnmt > eff {
+		t.Errorf("GNMT (%.2f) should gain least vs depthwise nets (%.2f, %.2f)", gnmt, mob, eff)
+	}
+	if res < 1.0 {
+		t.Errorf("ResNet-50 speedup %.2f < 1", res)
+	}
+}
+
+func TestVectorOnAllocScaling(t *testing.T) {
+	cfg := planaria()
+	l := &dnn.Layer{Kind: dnn.Add, Elems: 1 << 20}
+	r1 := VectorOnAlloc(l, cfg, 1)
+	r16 := VectorOnAlloc(l, cfg, 16)
+	if r16.Cycles >= r1.Cycles {
+		t.Fatalf("vector unit did not scale: 1→%d cy, 16→%d cy", r1.Cycles, r16.Cycles)
+	}
+	ratio := float64(r1.Cycles) / float64(r16.Cycles)
+	if ratio < 12 || ratio > 20 {
+		t.Errorf("vector scaling ratio = %.1f, want ~16", ratio)
+	}
+}
+
+func TestResultCyclesPerTile(t *testing.T) {
+	r := Result{Cycles: 100, Tiles: 7}
+	if q := r.CyclesPerTile(); q != 14 {
+		t.Fatalf("CyclesPerTile = %d, want 14", q)
+	}
+	r = Result{Cycles: 5, Tiles: 0}
+	if q := r.CyclesPerTile(); q != 5 {
+		t.Fatalf("zero-tile CyclesPerTile = %d, want 5", q)
+	}
+}
+
+func TestMemoryBoundLayer(t *testing.T) {
+	// GNMT's vocabulary projection (K=1024, N=32000, M=4) is dominated
+	// by weight traffic; the model must report the bandwidth bound.
+	cfg := planaria()
+	l := &dnn.Layer{Kind: dnn.MatMul, M: 4, K: 1024, N: 32000}
+	r := BestShape(l, cfg, 16)
+	minMemCycles := int64(float64(1024*32000) / cfg.BytesPerCycle())
+	if r.Cycles < minMemCycles {
+		t.Fatalf("cycles %d below the DRAM bound %d", r.Cycles, minMemCycles)
+	}
+}
+
+func TestBandwidthShareScalesWithAllocation(t *testing.T) {
+	// A memory-bound layer on a small allocation gets a small bandwidth
+	// share and must take proportionally longer.
+	cfg := planaria()
+	l := &dnn.Layer{Kind: dnn.MatMul, M: 1, K: 4096, N: 4096}
+	r1 := BestShape(l, cfg, 1)
+	r16 := BestShape(l, cfg, 16)
+	if r1.Cycles < 8*r16.Cycles {
+		t.Fatalf("bandwidth share not applied: s=1 %d cy vs s=16 %d cy", r1.Cycles, r16.Cycles)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	cfg := planaria()
+	f := func(a, b, c uint8) bool {
+		m := int(a)%2048 + 1
+		k := int(b)%2048 + 1
+		n := int(c)%2048 + 1
+		l := &dnn.Layer{Kind: dnn.MatMul, M: m, K: k, N: n}
+		r := BestShape(l, cfg, 16)
+		return r.Util >= 0 && r.Util <= 1 && r.Cycles > 0 && r.Tiles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkOnAllocAggregates(t *testing.T) {
+	cfg := planaria()
+	net := dnn.MustByName("Tiny YOLO")
+	r, err := NetworkOnAlloc(net, cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || r.Tiles <= 0 || r.DRAMBytes <= 0 {
+		t.Fatalf("degenerate network result: %+v", r)
+	}
+	if r.Acct.MACs != netMACsOnArray(net) {
+		t.Fatalf("MACs = %d, want %d", r.Acct.MACs, netMACsOnArray(net))
+	}
+}
+
+// netMACsOnArray sums MACs over GEMM layers only (vector layers do not
+// contribute MACs).
+func netMACsOnArray(n *dnn.Network) int64 {
+	var t int64
+	for i := range n.Layers {
+		if n.Layers[i].Kind.IsGEMM() {
+			t += n.Layers[i].MACs()
+		}
+	}
+	return t
+}
+
+func TestNetworkOnAllocRejectsInvalid(t *testing.T) {
+	cfg := planaria()
+	bad := &dnn.Network{Name: "bad"}
+	if _, err := NetworkOnAlloc(bad, cfg, 16, true); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestOmniDirectionalShapesHaveChainLatency(t *testing.T) {
+	// Compare the same single-tile GEMM on an unchained (1×1) and a
+	// chained (1×4) shape: the chained shape pays boundary latency.
+	cfg := planaria()
+	un := GEMMOnShape(512, 32, 32, 1, 1, arch.Shape{Clusters: 1, H: 1, W: 1}, cfg, 16)
+	ch := GEMMOnShape(512, 32, 32, 1, 1, arch.Shape{Clusters: 1, H: 1, W: 4}, cfg, 16)
+	if ch.Cycles <= un.Cycles {
+		t.Fatalf("chained shape %d cy not above unchained %d cy", ch.Cycles, un.Cycles)
+	}
+}
+
+func TestHopEnergyForChainedShapes(t *testing.T) {
+	cfg := planaria()
+	un := GEMMOnShape(256, 64, 64, 1, 1, arch.Shape{Clusters: 1, H: 1, W: 1}, cfg, 4)
+	ch := GEMMOnShape(256, 64, 64, 1, 1, arch.Shape{Clusters: 1, H: 2, W: 2}, cfg, 4)
+	if un.Acct.HopBytes != 0 {
+		t.Fatalf("unchained shape has hop traffic %d", un.Acct.HopBytes)
+	}
+	if ch.Acct.HopBytes <= 0 {
+		t.Fatal("chained shape has no hop traffic")
+	}
+}

@@ -1,0 +1,116 @@
+// Package prema reimplements the PREMA scheduling baseline (Choi & Rhu,
+// HPCA 2020) the paper compares against: preemptive *temporal*
+// multi-tenancy on a monolithic systolic accelerator. PREMA's published
+// policy is token-based: each waiting task accrues tokens proportionally
+// to its priority and waiting time; tasks whose token reaches the current
+// maximum become candidates, and among candidates the one with the
+// shortest estimated remaining time runs next (shortest-estimated-job
+// first, for throughput). Preemption checkpoints at tile granularity.
+//
+// This is a reimplementation from the published description — the paper's
+// artifact is not available — preserving the policy semantics the
+// comparison needs (see DESIGN.md §3).
+package prema
+
+import (
+	"planaria/internal/arch"
+	"planaria/internal/sim"
+)
+
+// Token is the PREMA scheduling policy. It is stateful: tokens persist
+// across invocations and grow while tasks wait.
+type Token struct {
+	Cfg arch.Config
+	// CandidateFraction: tasks with token ≥ CandidateFraction × max-token
+	// are candidates (1.0 = strict maximum only).
+	CandidateFraction float64
+	// SchedulingQuantum bounds how long a decision stands before tokens
+	// are re-evaluated.
+	SchedulingQuantum float64
+
+	tokens map[int]float64
+	last   map[int]float64
+}
+
+// NewToken returns the PREMA policy with the defaults used in the
+// evaluation: a 90% candidate threshold and a 500 µs quantum.
+func NewToken(cfg arch.Config) *Token {
+	return &Token{
+		Cfg:               cfg,
+		CandidateFraction: 0.9,
+		SchedulingQuantum: 500e-6,
+		tokens:            make(map[int]float64),
+		last:              make(map[int]float64),
+	}
+}
+
+// Name implements sim.Policy.
+func (p *Token) Name() string { return "PREMA" }
+
+// Quantum implements sim.Policy.
+func (p *Token) Quantum() float64 { return p.SchedulingQuantum }
+
+// Allocate implements sim.Policy: exactly one task owns the whole
+// monolithic accelerator at a time.
+func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
+	if len(tasks) == 0 {
+		return nil
+	}
+	// Accrue tokens: priority × waiting time (milliseconds) since the
+	// last update; running tasks do not accrue.
+	live := make(map[int]bool, len(tasks))
+	for _, t := range tasks {
+		live[t.ID] = true
+		lastT, seen := p.last[t.ID]
+		if !seen {
+			// Initial token equals the priority, as in PREMA.
+			p.tokens[t.ID] = float64(t.Req.Priority)
+			p.last[t.ID] = now
+			continue
+		}
+		if t.Alloc == 0 {
+			p.tokens[t.ID] += float64(t.Req.Priority) * (now - lastT) * 1e3
+		}
+		p.last[t.ID] = now
+	}
+	for id := range p.tokens {
+		if !live[id] {
+			delete(p.tokens, id)
+			delete(p.last, id)
+		}
+	}
+
+	// Candidate set: tokens within CandidateFraction of the maximum.
+	maxTok := 0.0
+	for _, t := range tasks {
+		if p.tokens[t.ID] > maxTok {
+			maxTok = p.tokens[t.ID]
+		}
+	}
+	var best *sim.Task
+	bestRem := int64(0)
+	for _, t := range tasks {
+		if p.tokens[t.ID] < p.CandidateFraction*maxTok {
+			continue
+		}
+		rem := t.RemainingCycles(total)
+		if best == nil || rem < bestRem || (rem == bestRem && t.ID < best.ID) {
+			best = t
+			bestRem = rem
+		}
+	}
+	if best == nil {
+		best = tasks[0]
+	}
+	// The dispatched task's token resets, as in PREMA, so others catch up.
+	p.tokens[best.ID] = float64(best.Req.Priority)
+	return map[int]int{best.ID: total}
+}
+
+var _ sim.Policy = (*Token)(nil)
+
+// Isolated returns the task's isolated execution time on the monolithic
+// accelerator, used by the fairness metric.
+func Isolated(t *sim.Task, cfg arch.Config) float64 {
+	return cfg.Seconds(t.Prog.Table(cfg.NumSubarrays()).TotalCycles)
+}

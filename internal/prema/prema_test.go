@@ -1,0 +1,115 @@
+package prema
+
+import (
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/dnn"
+	"planaria/internal/sim"
+	"planaria/internal/workload"
+)
+
+func toyProg(t *testing.T, cfg arch.Config) *compiler.Program {
+	t.Helper()
+	b := dnn.NewBuilder("prema-toy", "classification", 32, 32, 8)
+	b.Conv("c1", 32, 3, 1)
+	b.GlobalPool("gp")
+	b.FC("fc", 10)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.CompileProgram(net, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mkTask(id, prio int, prog *compiler.Program) *sim.Task {
+	return &sim.Task{
+		ID:     id,
+		Req:    workload.Request{ID: id, Priority: prio, Deadline: 1},
+		Prog:   prog,
+		Finish: -1,
+	}
+}
+
+func TestSingleOwnerAtATime(t *testing.T) {
+	cfg := arch.Monolithic()
+	p := toyProg(t, cfg)
+	pol := NewToken(cfg)
+	tasks := []*sim.Task{mkTask(0, 3, p), mkTask(1, 7, p), mkTask(2, 11, p)}
+	alloc := pol.Allocate(0, tasks, 1)
+	owners := 0
+	for _, a := range alloc {
+		if a > 0 {
+			owners++
+			if a != 1 {
+				t.Fatalf("owner granted %d of 1", a)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d owners, want exactly 1", owners)
+	}
+}
+
+func TestTokensAccrueForWaiters(t *testing.T) {
+	cfg := arch.Monolithic()
+	p := toyProg(t, cfg)
+	pol := NewToken(cfg)
+	a := mkTask(0, 2, p)
+	b := mkTask(1, 10, p)
+	tasks := []*sim.Task{a, b}
+
+	first := pol.Allocate(0, tasks, 1)
+	var runner, waiter *sim.Task
+	if first[a.ID] == 1 {
+		runner, waiter = a, b
+	} else {
+		runner, waiter = b, a
+	}
+	runner.Alloc = 1
+	// After the waiter has waited, its token (priority × wait) overtakes
+	// the runner's reset token and it preempts.
+	later := pol.Allocate(0.05, tasks, 1)
+	if later[waiter.ID] != 1 {
+		t.Fatalf("waiter (prio %d) not scheduled after waiting: %v", waiter.Req.Priority, later)
+	}
+}
+
+func TestHigherPriorityWinsInitially(t *testing.T) {
+	cfg := arch.Monolithic()
+	p := toyProg(t, cfg)
+	pol := NewToken(cfg)
+	lo := mkTask(0, 1, p)
+	hi := mkTask(1, 11, p)
+	alloc := pol.Allocate(0, []*sim.Task{lo, hi}, 1)
+	if alloc[hi.ID] != 1 {
+		t.Fatalf("high-priority task not scheduled first: %v", alloc)
+	}
+}
+
+func TestFinishedTasksForgotten(t *testing.T) {
+	cfg := arch.Monolithic()
+	p := toyProg(t, cfg)
+	pol := NewToken(cfg)
+	a := mkTask(0, 5, p)
+	pol.Allocate(0, []*sim.Task{a}, 1)
+	if len(pol.tokens) != 1 {
+		t.Fatalf("tokens = %d, want 1", len(pol.tokens))
+	}
+	b := mkTask(1, 5, p)
+	pol.Allocate(1, []*sim.Task{b}, 1)
+	if _, ok := pol.tokens[a.ID]; ok {
+		t.Fatal("departed task still holds a token")
+	}
+}
+
+func TestQuantumPositive(t *testing.T) {
+	if NewToken(arch.Monolithic()).Quantum() <= 0 {
+		t.Fatal("PREMA needs a positive scheduling quantum for token re-evaluation")
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"sort"
+
+	"planaria/internal/arch"
+	"planaria/internal/sim"
+)
+
+// The policies in this file are scheduling ablations: they run on the
+// same fissionable Planaria hardware (same compiled programs) but replace
+// Algorithm 1, isolating how much of the end-to-end win comes from the
+// scheduler versus the fission-capable microarchitecture.
+
+// FCFS dedicates the whole chip to the oldest dispatched task and runs
+// tasks back to back — fission-capable hardware without spatial
+// co-location (each task still benefits from per-layer fission shapes).
+type FCFS struct {
+	Cfg arch.Config
+}
+
+// NewFCFS returns the run-to-completion policy.
+func NewFCFS(cfg arch.Config) *FCFS { return &FCFS{Cfg: cfg} }
+
+// Name implements sim.Policy.
+func (f *FCFS) Name() string { return "FCFS" }
+
+// Quantum implements sim.Policy: no preemption, purely event-driven.
+func (f *FCFS) Quantum() float64 { return 0 }
+
+// Allocate implements sim.Policy.
+func (f *FCFS) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
+	if len(tasks) == 0 {
+		return nil
+	}
+	// Keep the currently running task (run to completion); otherwise pick
+	// the earliest arrival.
+	var pick *sim.Task
+	for _, t := range tasks {
+		if t.Alloc > 0 {
+			pick = t
+			break
+		}
+	}
+	if pick == nil {
+		pick = tasks[0]
+		for _, t := range tasks[1:] {
+			if t.Req.Arrival < pick.Req.Arrival ||
+				(t.Req.Arrival == pick.Req.Arrival && t.ID < pick.ID) {
+				pick = t
+			}
+		}
+	}
+	return map[int]int{pick.ID: total}
+}
+
+var _ sim.Policy = (*FCFS)(nil)
+
+// EqualShare divides the chip evenly among all dispatched tasks,
+// ignoring priorities, slack, and demand — spatial co-location without
+// Algorithm 1's QoS-aware estimation and scoring.
+type EqualShare struct {
+	Cfg arch.Config
+}
+
+// NewEqualShare returns the naive spatial policy.
+func NewEqualShare(cfg arch.Config) *EqualShare { return &EqualShare{Cfg: cfg} }
+
+// Name implements sim.Policy.
+func (e *EqualShare) Name() string { return "EqualShare" }
+
+// Quantum implements sim.Policy.
+func (e *EqualShare) Quantum() float64 { return 0 }
+
+// Allocate implements sim.Policy: floor(total/n) each, remainder to the
+// oldest tasks; when tasks outnumber subarrays the newest wait.
+func (e *EqualShare) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
+	if len(tasks) == 0 {
+		return nil
+	}
+	order := append([]*sim.Task(nil), tasks...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Req.Arrival != order[j].Req.Arrival {
+			return order[i].Req.Arrival < order[j].Req.Arrival
+		}
+		return order[i].ID < order[j].ID
+	})
+	if len(order) > total {
+		order = order[:total]
+	}
+	share := total / len(order)
+	rem := total - share*len(order)
+	alloc := make(map[int]int, len(order))
+	for i, t := range order {
+		a := share
+		if i < rem {
+			a++
+		}
+		alloc[t.ID] = a
+	}
+	return alloc
+}
+
+var _ sim.Policy = (*EqualShare)(nil)

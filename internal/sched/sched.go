@@ -1,0 +1,217 @@
+// Package sched implements Planaria's spatial task scheduling — a direct
+// transcription of Algorithm 1 in the paper (§V). The scheduler is
+// invoked whenever a task arrives or finishes; it first estimates the
+// minimal subarray count each queued task needs to meet its QoS
+// constraint, then either co-locates every task (distributing spare
+// subarrays by a priority/remaining-time score) or, when the tasks do not
+// all fit, admits them in order of a priority/(slack·demand) score.
+package sched
+
+import (
+	"sort"
+
+	"planaria/internal/arch"
+	"planaria/internal/sim"
+)
+
+// Spatial is the Planaria scheduling policy.
+type Spatial struct {
+	// Cfg converts cycles to seconds for PREDICTTIME.
+	Cfg arch.Config
+	// MinSlack floors the slack used in the unfit score so expired tasks
+	// score highest rather than dividing by zero or a negative.
+	MinSlack float64
+}
+
+// NewSpatial returns the policy for a hardware configuration.
+func NewSpatial(cfg arch.Config) *Spatial {
+	return &Spatial{Cfg: cfg, MinSlack: 1e-6}
+}
+
+// Name implements sim.Policy.
+func (s *Spatial) Name() string { return "Planaria" }
+
+// Quantum implements sim.Policy: the spatial scheduler is purely
+// event-driven (invoked on arrivals and completions), per §V.
+func (s *Spatial) Quantum() float64 { return 0 }
+
+// predictTime is Algorithm 1's PREDICTTIME: a configuration-table lookup
+// of the task's remaining cycles at a candidate allocation, converted to
+// seconds (the task monitor keeps the progress used by RemainingCycles).
+func (s *Spatial) predictTime(t *sim.Task, alloc int) float64 {
+	return s.Cfg.Seconds(t.RemainingCycles(alloc))
+}
+
+// EstimateResources is Algorithm 1's ESTIMATERESOURCES: the minimum
+// number of subarrays whose predicted completion meets the task's slack.
+// When no allocation can meet the deadline, the maximum is returned so
+// the task finishes as soon as possible.
+func (s *Spatial) EstimateResources(t *sim.Task, now float64, total int) int {
+	slack := t.Slack(now)
+	for n := 1; n <= total; n++ {
+		if s.predictTime(t, n) <= slack {
+			return n
+		}
+	}
+	return total
+}
+
+// Allocate is Algorithm 1's SCHEDULETASKSSPATIALLY.
+func (s *Spatial) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
+	if len(tasks) == 0 {
+		return nil
+	}
+	estimates := make(map[int]int, len(tasks))
+	sum := 0
+	for _, t := range tasks {
+		e := s.EstimateResources(t, now, total)
+		estimates[t.ID] = e
+		sum += e
+	}
+	if sum <= total {
+		return s.allocateFit(now, tasks, estimates, total)
+	}
+	return s.allocateUnfit(now, tasks, estimates, total)
+}
+
+// allocateFit gives every task its minimal estimate, then distributes the
+// spare subarrays proportionally to score = priority / remaining-time —
+// favouring important tasks and those with much work left (fairness via
+// equal progress).
+func (s *Spatial) allocateFit(now float64, tasks []*sim.Task, estimates map[int]int, total int) map[int]int {
+	alloc := make(map[int]int, len(tasks))
+	scores := make(map[int]float64, len(tasks))
+	var scoreSum float64
+	used := 0
+	for _, t := range tasks {
+		e := estimates[t.ID]
+		alloc[t.ID] = e
+		used += e
+		rem := s.predictTime(t, e)
+		if rem < 1e-9 {
+			rem = 1e-9
+		}
+		sc := float64(t.Req.Priority) / rem
+		scores[t.ID] = sc
+		scoreSum += sc
+	}
+	remaining := total - used
+	if remaining <= 0 || scoreSum <= 0 {
+		return alloc
+	}
+	// Proportional shares with largest-remainder rounding, capped so no
+	// task exceeds the total.
+	type frac struct {
+		id    int
+		ideal float64
+	}
+	fr := make([]frac, 0, len(tasks))
+	granted := 0
+	for _, t := range tasks {
+		ideal := float64(remaining) * scores[t.ID] / scoreSum
+		whole := int(ideal)
+		room := total - alloc[t.ID]
+		if whole > room {
+			whole = room
+		}
+		alloc[t.ID] += whole
+		granted += whole
+		fr = append(fr, frac{t.ID, ideal - float64(whole)})
+	}
+	sort.Slice(fr, func(i, j int) bool {
+		if fr[i].ideal != fr[j].ideal {
+			return fr[i].ideal > fr[j].ideal
+		}
+		return fr[i].id < fr[j].id
+	})
+	for _, f := range fr {
+		if granted >= remaining {
+			break
+		}
+		if alloc[f.id] < total {
+			alloc[f.id]++
+			granted++
+		}
+	}
+	return alloc
+}
+
+// allocateUnfit resolves competition when the minimal demands exceed the
+// chip: tasks are admitted in order of score = priority / (slack ·
+// demand) — favouring high priority, tight slack, and small demand — until
+// the chip is full. Leftover subarrays (when the next demands do not fit)
+// top up the admitted tasks in score order.
+func (s *Spatial) allocateUnfit(now float64, tasks []*sim.Task, estimates map[int]int, total int) map[int]int {
+	type scored struct {
+		t     *sim.Task
+		score float64
+	}
+	order := make([]scored, 0, len(tasks))
+	for _, t := range tasks {
+		slack := t.Slack(now)
+		if slack < s.MinSlack {
+			slack = s.MinSlack
+		}
+		e := estimates[t.ID]
+		if e < 1 {
+			e = 1
+		}
+		order = append(order, scored{t, float64(t.Req.Priority) / (slack * float64(e))})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].t.ID < order[j].t.ID
+	})
+
+	alloc := make(map[int]int, len(tasks))
+	remaining := total
+	var admitted []*sim.Task
+	for _, sc := range order {
+		if remaining <= 0 {
+			break
+		}
+		e := estimates[sc.t.ID]
+		if e > remaining {
+			// Cannot give the full estimate; admit with what remains only
+			// if nothing else was admitted yet (keep the chip busy).
+			if len(admitted) == 0 {
+				alloc[sc.t.ID] = remaining
+				admitted = append(admitted, sc.t)
+				remaining = 0
+			}
+			continue
+		}
+		alloc[sc.t.ID] = e
+		admitted = append(admitted, sc.t)
+		remaining -= e
+	}
+	// Top up admitted tasks round-robin in score order.
+	for remaining > 0 && len(admitted) > 0 {
+		progressed := false
+		for _, t := range admitted {
+			if remaining == 0 {
+				break
+			}
+			if alloc[t.ID] < total {
+				alloc[t.ID]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+var _ sim.Policy = (*Spatial)(nil)
+
+// Isolated returns the task's isolated execution time on the full chip,
+// used by the fairness metric.
+func Isolated(t *sim.Task, cfg arch.Config) float64 {
+	tab := t.Prog.Table(cfg.NumSubarrays())
+	return cfg.Seconds(tab.TotalCycles)
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/energy"
+	"planaria/internal/workload"
+)
+
+// configLoadCycles covers the double-buffered configuration-register swap
+// and the per-subarray instruction-buffer prefetch on a re-allocation
+// (§IV-C); the checkpoint DMA of one tile of intermediate results is
+// modeled separately from the allocation's bandwidth share
+// (Task.checkpointCycles).
+const configLoadCycles = 500
+
+// Outcome aggregates one simulated workload instance.
+type Outcome struct {
+	// Finishes[i] is the completion time of the i-th request of the
+	// slice passed to Run (-1 if unfinished — cannot happen when Run
+	// returns nil error, but kept for metrics symmetry).
+	Finishes []float64
+	// Latency[i] = Finishes[i] − Arrival[i].
+	Latency []float64
+	// EnergyJ is total energy: per-task dynamic energy + chip leakage
+	// over the makespan.
+	EnergyJ float64
+	// Makespan is the time from first arrival to last completion.
+	Makespan float64
+	// BusyTime is the total time at least one task was in flight; chip
+	// leakage and fission-support overhead power are charged over it
+	// (the chip power-gates when idle).
+	BusyTime float64
+	// Fairness is the PREMA metric min_{i,j} PP_i/PP_j.
+	Fairness float64
+	// Preemptions counts allocation changes of running tasks.
+	Preemptions int
+	// MeetsSLA reports the MLPerf server criterion over this instance.
+	MeetsSLA bool
+}
+
+// Node simulates one accelerator under a scheduling policy.
+type Node struct {
+	Cfg    arch.Config
+	Policy Policy
+	// Programs maps model name → compiled program (matching Cfg).
+	Programs map[string]*compiler.Program
+	// Params are the energy constants.
+	Params energy.Params
+	// Trace, when non-nil, records the serving timeline (arrivals,
+	// allocation changes, completions).
+	Trace *Trace
+	// PenaltyScale multiplies every re-allocation penalty (tile drain,
+	// checkpoint DMA, configuration load). 0 = free preemption, 1 =
+	// default; used by the reconfiguration-cost sensitivity ablation.
+	// Zero value means 1.
+	PenaltyScale float64
+}
+
+// penaltyScale returns the effective multiplier.
+func (n *Node) penaltyScale() float64 {
+	if n.PenaltyScale == 0 {
+		return 1
+	}
+	if n.PenaltyScale < 0 {
+		return 0
+	}
+	return n.PenaltyScale
+}
+
+// Run simulates the requests to completion and computes the outcome
+// metrics. Isolated times for fairness come from each program's
+// full-allocation table.
+func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
+	if n.Policy == nil {
+		return nil, fmt.Errorf("sim: node has no policy")
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("sim: no requests")
+	}
+	total := n.Cfg.NumSubarrays()
+
+	index := make(map[int]int, len(reqs))
+	for i, r := range reqs {
+		if _, dup := index[r.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate request ID %d", r.ID)
+		}
+		index[r.ID] = i
+	}
+
+	pending := make([]workload.Request, len(reqs))
+	copy(pending, reqs)
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	tasks := make([]*Task, 0, 8) // active
+	out := &Outcome{
+		Finishes: make([]float64, len(reqs)),
+		Latency:  make([]float64, len(reqs)),
+	}
+	for i := range out.Finishes {
+		out.Finishes[i] = -1
+	}
+	var pp []ppEntry
+
+	now := pending[0].Arrival
+	firstArrival := now
+	nextPending := 0
+	const maxIter = 10_000_000
+
+	admit := func() error {
+		for nextPending < len(pending) && pending[nextPending].Arrival <= now+1e-12 {
+			r := pending[nextPending]
+			prog, ok := n.Programs[r.Model]
+			if !ok {
+				return fmt.Errorf("sim: no program for model %q", r.Model)
+			}
+			tasks = append(tasks, &Task{ID: r.ID, Req: r, Prog: prog, Finish: -1})
+			n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+			nextPending++
+		}
+		return nil
+	}
+	if err := admit(); err != nil {
+		return nil, err
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return nil, fmt.Errorf("sim: exceeded %d events (livelock?)", maxIter)
+		}
+		if len(tasks) == 0 {
+			if nextPending >= len(pending) {
+				break
+			}
+			now = pending[nextPending].Arrival
+			if err := admit(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// Scheduling event: invoke the policy and apply re-allocations.
+		alloc := n.Policy.Allocate(now, tasks, total)
+		if err := validateAllocation(alloc, tasks, total); err != nil {
+			return nil, err
+		}
+		running := 0
+		for _, t := range tasks {
+			na := alloc[t.ID]
+			if na != t.Alloc {
+				n.Trace.record(Event{Time: now, Kind: EvAlloc, Task: t.ID, Model: t.Req.Model, Alloc: na})
+			}
+			t.applyRealloc(int64(na), n.Cfg, n.penaltyScale())
+			if t.Alloc > 0 {
+				running++
+			}
+		}
+		if running == 0 {
+			return nil, fmt.Errorf("sim: policy %s stalled all %d tasks", n.Policy.Name(), len(tasks))
+		}
+
+		// Next event: earliest completion, next arrival, or quantum.
+		next := math.Inf(1)
+		for _, t := range tasks {
+			if t.Alloc > 0 {
+				fin := now + n.Cfg.Seconds(t.RemainingCycles(t.Alloc))
+				if fin < next {
+					next = fin
+				}
+			}
+		}
+		if nextPending < len(pending) && pending[nextPending].Arrival < next {
+			next = pending[nextPending].Arrival
+		}
+		if q := n.Policy.Quantum(); q > 0 && len(tasks) > running {
+			if now+q < next {
+				next = now + q
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("sim: no next event with %d tasks active", len(tasks))
+		}
+
+		// Advance running tasks to the event time.
+		dt := next - now
+		out.BusyTime += dt
+		dtCycles := int64(math.Ceil(dt * n.Cfg.CyclesPerSecond()))
+		if dtCycles < 1 {
+			dtCycles = 1
+		}
+		for _, t := range tasks {
+			if t.Alloc > 0 {
+				t.advance(dtCycles, n.Params)
+			}
+		}
+		now = next
+
+		// Retire finished tasks.
+		kept := tasks[:0]
+		for _, t := range tasks {
+			if t.Done() && t.PenaltyCycles <= 0 {
+				t.Finish = now
+				n.Trace.record(Event{Time: now, Kind: EvFinish, Task: t.ID, Model: t.Req.Model})
+				out.Finishes[index[t.Req.ID]] = now
+				out.Latency[index[t.Req.ID]] = now - t.Req.Arrival
+				out.EnergyJ += t.EnergyJ
+				out.Preemptions += t.Preemptions
+				pp = appendPP(pp, n, t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		tasks = kept
+		if err := admit(); err != nil {
+			return nil, err
+		}
+		if len(tasks) == 0 && nextPending >= len(pending) {
+			break
+		}
+	}
+
+	out.Makespan = now - firstArrival
+	// Chip leakage and fission-support overhead power over the busy time.
+	out.EnergyJ += (energy.LeakageWatts(n.Cfg, n.Params) + energy.OverheadWatts(n.Cfg)) * out.BusyTime
+	out.Fairness = fairnessOf(pp, reqs)
+	out.MeetsSLA = workload.MeetsSLA(reqs, out.Finishes)
+	return out, nil
+}
+
+// ppEntry carries one finished task's normalized progress for fairness.
+type ppEntry struct {
+	id       int
+	priority int
+	iso      float64
+	multi    float64
+}
+
+func appendPP(pp []ppEntry, n *Node, t *Task) []ppEntry {
+	iso := n.Cfg.Seconds(t.Prog.Table(n.Cfg.NumSubarrays()).TotalCycles)
+	return append(pp, ppEntry{
+		id:       t.Req.ID,
+		priority: t.Req.Priority,
+		iso:      iso,
+		multi:    t.Finish - t.Req.Arrival,
+	})
+}
+
+// fairnessOf computes PREMA's fairness metric:
+// PP_i = (T_iso / T_multi) / (priority_i / Σ priority), fairness =
+// min_{i,j} PP_i / PP_j = min PP / max PP.
+func fairnessOf(pp []ppEntry, reqs []workload.Request) float64 {
+	if len(pp) < 2 {
+		return 1
+	}
+	var prioSum float64
+	for _, r := range reqs {
+		prioSum += float64(r.Priority)
+	}
+	minPP, maxPP := math.Inf(1), 0.0
+	for _, e := range pp {
+		if e.multi <= 0 {
+			continue
+		}
+		v := (e.iso / e.multi) / (float64(e.priority) / prioSum)
+		if v < minPP {
+			minPP = v
+		}
+		if v > maxPP {
+			maxPP = v
+		}
+	}
+	if maxPP == 0 || math.IsInf(minPP, 1) {
+		return 1
+	}
+	return minPP / maxPP
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/dnn"
+	"planaria/internal/energy"
+	"planaria/internal/workload"
+)
+
+// fullPolicy gives every task an equal share (test stand-in).
+type fullPolicy struct{}
+
+func (fullPolicy) Name() string     { return "test-equal" }
+func (fullPolicy) Quantum() float64 { return 0 }
+func (fullPolicy) Allocate(now float64, tasks []*Task, total int) map[int]int {
+	m := make(map[int]int, len(tasks))
+	if len(tasks) == 0 {
+		return m
+	}
+	share := total / len(tasks)
+	if share < 1 {
+		share = 1
+	}
+	left := total
+	for _, t := range tasks {
+		a := share
+		if a > left {
+			a = left
+		}
+		m[t.ID] = a
+		left -= a
+	}
+	return m
+}
+
+func toyNet(t *testing.T, name string) *dnn.Network {
+	t.Helper()
+	b := dnn.NewBuilder(name, "classification", 32, 32, 8)
+	b.Conv("c1", 32, 3, 1)
+	b.Conv("c2", 32, 3, 1)
+	b.GlobalPool("gp")
+	b.FC("fc", 10)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testNode(t *testing.T, pol Policy) (*Node, *compiler.Program) {
+	t.Helper()
+	cfg := arch.Planaria()
+	net := toyNet(t, "sim-toy")
+	prog, err := compiler.CompileProgram(net, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Node{
+		Cfg:      cfg,
+		Policy:   pol,
+		Programs: map[string]*compiler.Program{"sim-toy": prog},
+		Params:   energy.Default(),
+	}, prog
+}
+
+func req(id int, arrival, qos float64, prio int) workload.Request {
+	return workload.Request{
+		ID: id, Model: "sim-toy", Domain: "classification",
+		Arrival: arrival, Priority: prio, QoS: qos, Deadline: arrival + qos,
+	}
+}
+
+func TestSingleRequestLatencyEqualsIsolated(t *testing.T) {
+	node, prog := testNode(t, fullPolicy{})
+	iso := node.Cfg.Seconds(prog.Table(16).TotalCycles)
+	out, err := node.Run([]workload.Request{req(0, 0, 1, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Latency[0]-iso) > iso*0.01+1e-9 {
+		t.Fatalf("lone-task latency %.3g, isolated %.3g", out.Latency[0], iso)
+	}
+	if out.Preemptions != 0 {
+		t.Errorf("lone task preempted %d times", out.Preemptions)
+	}
+	if out.EnergyJ <= 0 {
+		t.Errorf("energy = %g", out.EnergyJ)
+	}
+}
+
+func TestCoLocatedTasksBothFinish(t *testing.T) {
+	node, prog := testNode(t, fullPolicy{})
+	iso := node.Cfg.Seconds(prog.Table(16).TotalCycles)
+	reqs := []workload.Request{req(0, 0, 1, 5), req(1, 0, 1, 5)}
+	out, err := node.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if out.Finishes[i] < 0 {
+			t.Fatalf("request %d never finished", i)
+		}
+		if out.Latency[i] < iso {
+			t.Errorf("co-located latency %.3g below isolated %.3g", out.Latency[i], iso)
+		}
+	}
+	if out.Fairness <= 0 || out.Fairness > 1+1e-9 {
+		t.Errorf("fairness = %g outside (0,1]", out.Fairness)
+	}
+}
+
+func TestStaggeredArrivals(t *testing.T) {
+	node, _ := testNode(t, fullPolicy{})
+	reqs := []workload.Request{
+		req(0, 0.000, 1, 5),
+		req(1, 0.001, 1, 5),
+		req(2, 0.050, 1, 5),
+	}
+	out, err := node.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if out.Finishes[i] < reqs[i].Arrival {
+			t.Fatalf("request %d finished before arriving", i)
+		}
+	}
+	if !out.MeetsSLA {
+		t.Error("easy workload should meet SLA")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	reqs := []workload.Request{req(0, 0, 1, 5), req(1, 0.0005, 1, 7), req(2, 0.001, 1, 2)}
+	node1, _ := testNode(t, fullPolicy{})
+	node2, _ := testNode(t, fullPolicy{})
+	o1, err := node1.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := node2.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1.Finishes {
+		if o1.Finishes[i] != o2.Finishes[i] {
+			t.Fatalf("nondeterministic finish for request %d: %g vs %g", i, o1.Finishes[i], o2.Finishes[i])
+		}
+	}
+	if o1.EnergyJ != o2.EnergyJ {
+		t.Fatalf("nondeterministic energy: %g vs %g", o1.EnergyJ, o2.EnergyJ)
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	node, _ := testNode(t, fullPolicy{})
+	bad := workload.Request{ID: 0, Model: "no-such-model", Arrival: 0, QoS: 1, Deadline: 1, Priority: 1}
+	if _, err := node.Run([]workload.Request{bad}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestEmptyRunRejected(t *testing.T) {
+	node, _ := testNode(t, fullPolicy{})
+	if _, err := node.Run(nil); err == nil {
+		t.Fatal("expected empty-request error")
+	}
+}
+
+func TestValidateAllocationContract(t *testing.T) {
+	tasks := []*Task{{ID: 1}, {ID: 2}}
+	if err := validateAllocation(map[int]int{1: 8, 2: 8}, tasks, 16); err != nil {
+		t.Errorf("valid allocation rejected: %v", err)
+	}
+	if err := validateAllocation(map[int]int{1: 9, 2: 8}, tasks, 16); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if err := validateAllocation(map[int]int{3: 1}, tasks, 16); err == nil {
+		t.Error("unknown-task allocation accepted")
+	}
+	if err := validateAllocation(map[int]int{1: -1}, tasks, 16); err == nil {
+		t.Error("negative allocation accepted")
+	}
+}
+
+func TestReallocChargesPenalty(t *testing.T) {
+	node, prog := testNode(t, fullPolicy{})
+	_ = node
+	task := &Task{ID: 0, Prog: prog, Alloc: 16, Frac: 0.3, Finish: -1}
+	task.applyRealloc(8, node.Cfg, 1)
+	if task.PenaltyCycles <= configLoadCycles {
+		t.Errorf("penalty = %d, want > %d (tile drain + checkpoint included)", task.PenaltyCycles, configLoadCycles)
+	}
+	if task.Preemptions != 1 {
+		t.Errorf("preemptions = %d", task.Preemptions)
+	}
+	// No-op realloc has no cost.
+	before := task.PenaltyCycles
+	task.applyRealloc(8, node.Cfg, 1)
+	if task.PenaltyCycles != before {
+		t.Error("no-op realloc charged a penalty")
+	}
+	// Stall (alloc 0) also checkpoints.
+	task.applyRealloc(0, node.Cfg, 1)
+	if task.Alloc != 0 {
+		t.Errorf("alloc = %d after stall", task.Alloc)
+	}
+}
+
+func TestTaskAdvanceAcrossLayers(t *testing.T) {
+	_, prog := testNode(t, fullPolicy{})
+	task := &Task{ID: 0, Prog: prog, Alloc: 16, Finish: -1}
+	total := prog.Table(16).TotalCycles
+	consumed := task.advance(total, energy.Default())
+	if consumed != total {
+		t.Fatalf("consumed %d of %d", consumed, total)
+	}
+	if !task.Done() {
+		t.Fatal("task not done after consuming all cycles")
+	}
+	if task.EnergyJ <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	// Further advancing consumes nothing.
+	if task.advance(100, energy.Default()) != 0 {
+		t.Fatal("done task consumed cycles")
+	}
+}
+
+func TestRemainingCyclesMonotoneInProgress(t *testing.T) {
+	_, prog := testNode(t, fullPolicy{})
+	task := &Task{ID: 0, Prog: prog, Alloc: 4, Finish: -1}
+	prev := task.RemainingCycles(4)
+	step := prev / 10
+	for i := 0; i < 9; i++ {
+		task.advance(step, energy.Default())
+		cur := task.RemainingCycles(4)
+		if cur > prev {
+			t.Fatalf("remaining increased %d → %d at step %d", prev, cur, i)
+		}
+		prev = cur
+	}
+}
+
+func TestCheckpointScalesWithBandwidthShare(t *testing.T) {
+	// A task preempted from a small allocation has a smaller bandwidth
+	// share, so checkpointing the same tile takes longer.
+	node, prog := testNode(t, fullPolicy{})
+	wide := &Task{ID: 0, Prog: prog, Alloc: 16, Finish: -1}
+	narrow := &Task{ID: 1, Prog: prog, Alloc: 1, Finish: -1}
+	cw := wide.checkpointCycles(node.Cfg, 16)
+	cn := narrow.checkpointCycles(node.Cfg, 1)
+	if cn <= cw {
+		t.Fatalf("narrow-allocation checkpoint %d not above wide %d", cn, cw)
+	}
+	// Done tasks have nothing to checkpoint.
+	done := &Task{ID: 2, Prog: prog, Alloc: 4, Layer: len(prog.Table(1).Layers)}
+	if done.checkpointCycles(node.Cfg, 4) != 0 {
+		t.Fatal("done task checkpointed")
+	}
+}

@@ -1,0 +1,207 @@
+// Package sim is the discrete-event multi-tenant serving simulator: it
+// dispatches workload requests to an accelerator node, invokes a
+// scheduling policy on every arrival and completion (§V "overall flow"),
+// advances running tasks at tile granularity between events, charges
+// re-allocation penalties (tile drain + checkpoint + configuration load),
+// and collects the paper's evaluation metrics.
+package sim
+
+import (
+	"fmt"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/energy"
+	"planaria/internal/workload"
+)
+
+// Task is one in-flight inference request with its execution progress.
+type Task struct {
+	ID   int
+	Req  workload.Request
+	Prog *compiler.Program
+
+	// Progress: current layer and the fraction of it completed. Fractions
+	// transfer across allocation changes (the tile counts differ between
+	// tables, but the fraction of layer work done is invariant).
+	Layer int
+	Frac  float64
+
+	// Alloc is the current subarray allocation (0 = queued/stalled).
+	Alloc int
+	// PenaltyCycles is outstanding reconfiguration work (tile drain,
+	// checkpoint DMA, config-register load) that must be paid before the
+	// task progresses again.
+	PenaltyCycles int64
+
+	Finish      float64 // completion time, or -1 while in flight
+	EnergyJ     float64
+	Preemptions int
+}
+
+// Done reports whether the task has completed every layer.
+func (t *Task) Done() bool {
+	return t.Layer >= len(t.Prog.Table(1).Layers)
+}
+
+// RemainingCycles returns the cycles left if the task ran on alloc
+// subarrays from its current progress (plus any outstanding penalty).
+func (t *Task) RemainingCycles(alloc int) int64 {
+	if t.Done() {
+		return t.PenaltyCycles
+	}
+	tab := t.Prog.Table(alloc)
+	lp := tab.Layers[t.Layer]
+	tilesDone := int64(t.Frac * float64(lp.Tiles))
+	return tab.RemainingCycles(t.Layer, tilesDone) + t.PenaltyCycles
+}
+
+// Slack returns the time remaining until the task's deadline.
+func (t *Task) Slack(now float64) float64 {
+	return t.Req.Deadline - now
+}
+
+// advance consumes up to dtCycles of work at the task's current
+// allocation and returns the cycles actually consumed (less than dtCycles
+// only if the task finishes first).
+func (t *Task) advance(dtCycles int64, params energy.Params) int64 {
+	if t.Alloc <= 0 || dtCycles <= 0 {
+		return 0
+	}
+	consumed := int64(0)
+	if t.PenaltyCycles > 0 {
+		pay := min64(t.PenaltyCycles, dtCycles)
+		t.PenaltyCycles -= pay
+		consumed += pay
+	}
+	tab := t.Prog.Table(t.Alloc)
+	for consumed < dtCycles && !t.Done() {
+		lp := &tab.Layers[t.Layer]
+		remFrac := 1 - t.Frac
+		remCycles := int64(remFrac * float64(lp.Cycles))
+		if remCycles <= 0 {
+			remCycles = 1
+		}
+		budget := dtCycles - consumed
+		if budget >= remCycles {
+			// Finish this layer.
+			consumed += remCycles
+			t.EnergyJ += remFrac * lp.Acct.Joules(params)
+			t.Layer++
+			t.Frac = 0
+		} else {
+			df := float64(budget) / float64(lp.Cycles)
+			t.Frac += df
+			if t.Frac > 1 {
+				t.Frac = 1
+			}
+			t.EnergyJ += df * lp.Acct.Joules(params)
+			consumed += budget
+		}
+	}
+	return consumed
+}
+
+// applyRealloc switches the task to a new allocation, charging the
+// preemption cost when it was actively running: the current tile drains
+// (progress rounds up to the tile boundary), one tile of intermediate
+// results checkpoints through DRAM (store now, reload when the task
+// resumes), and the new configuration and instructions load (§V
+// "tile-based scheduling to minimize re-allocation overheads").
+func (t *Task) applyRealloc(newAlloc int64, cfg arch.Config, scale float64) {
+	if t.Done() {
+		t.Alloc = int(newAlloc)
+		return
+	}
+	old := t.Alloc
+	if old == int(newAlloc) {
+		return
+	}
+	if old > 0 {
+		tab := t.Prog.Table(old)
+		lp := &tab.Layers[t.Layer]
+		var penalty int64
+		if lp.Tiles > 0 && t.Frac > 0 && t.Frac < 1 {
+			// Round progress up to the next tile boundary; the drain time
+			// is charged as penalty.
+			tiles := float64(lp.Tiles)
+			boundary := float64(int64(t.Frac*tiles)+1) / tiles
+			if boundary > 1 {
+				boundary = 1
+			}
+			t.Frac = boundary
+			penalty += lp.CyclesPerTile
+		}
+		penalty += t.checkpointCycles(cfg, old) + configLoadCycles
+		t.PenaltyCycles += int64(float64(penalty) * scale)
+		t.Preemptions++
+	}
+	t.Alloc = int(newAlloc)
+}
+
+// checkpointCycles models storing and reloading one tile of intermediate
+// results through DRAM with the old allocation's bandwidth share — the
+// paper's observation that tile granularity keeps this to a single tile.
+func (t *Task) checkpointCycles(cfg arch.Config, oldAlloc int) int64 {
+	if t.Done() {
+		return 0
+	}
+	tab := t.Prog.Table(oldAlloc)
+	lp := &tab.Layers[t.Layer]
+	if lp.Tiles <= 0 {
+		return 0
+	}
+	l := &t.Prog.Net.Layers[lp.LayerIdx]
+	tileBytes := l.OutputElems() / lp.Tiles
+	if tileBytes < 1 {
+		tileBytes = 1
+	}
+	bw := cfg.BytesPerCycle() * float64(oldAlloc) / float64(cfg.NumSubarrays())
+	if bw <= 0 {
+		bw = 1
+	}
+	// Store + reload.
+	return int64(2 * float64(tileBytes) / bw)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Policy decides subarray allocations. Allocate is invoked at every
+// scheduling event (arrival or completion, plus the policy's quantum if
+// nonzero) with the tasks currently dispatched and unfinished; it returns
+// the new allocation per task ID. Tasks omitted from the map are stalled
+// (allocation 0). The sum of allocations must not exceed total.
+type Policy interface {
+	Name() string
+	Allocate(now float64, tasks []*Task, total int) map[int]int
+	// Quantum returns the re-scheduling period while tasks are waiting
+	// (0 = event-driven only).
+	Quantum() float64
+}
+
+// validateAllocation enforces the policy contract.
+func validateAllocation(alloc map[int]int, tasks []*Task, total int) error {
+	sum := 0
+	ids := make(map[int]bool, len(tasks))
+	for _, t := range tasks {
+		ids[t.ID] = true
+	}
+	for id, a := range alloc {
+		if !ids[id] {
+			return fmt.Errorf("sim: policy allocated to unknown task %d", id)
+		}
+		if a < 0 || a > total {
+			return fmt.Errorf("sim: allocation %d for task %d outside [0,%d]", a, id, total)
+		}
+		sum += a
+	}
+	if sum > total {
+		return fmt.Errorf("sim: policy over-allocated %d of %d subarrays", sum, total)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvArrival marks a request joining the node's queue.
+	EvArrival EventKind = iota
+	// EvAlloc marks an allocation change decided by the scheduler
+	// (Alloc = new subarray count; 0 = stalled).
+	EvAlloc
+	// EvFinish marks a request completing.
+	EvFinish
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrival:
+		return "arrive"
+	case EvAlloc:
+		return "alloc"
+	case EvFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry of a traced serving run.
+type Event struct {
+	Time  float64
+	Kind  EventKind
+	Task  int // request ID
+	Model string
+	Alloc int // for EvAlloc
+}
+
+// Trace is a recorded serving timeline.
+type Trace struct {
+	Events []Event
+}
+
+// record appends an event (nil-safe: tracing is optional).
+func (tr *Trace) record(e Event) {
+	if tr == nil {
+		return
+	}
+	tr.Events = append(tr.Events, e)
+}
+
+// TasksSeen returns the distinct request IDs in the trace.
+func (tr *Trace) TasksSeen() []int {
+	seen := map[int]bool{}
+	for _, e := range tr.Events {
+		seen[e.Task] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// AllocTimeline returns the (time, alloc) steps of one task.
+func (tr *Trace) AllocTimeline(task int) []Event {
+	var out []Event
+	for _, e := range tr.Events {
+		if e.Task == task && e.Kind == EvAlloc {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks trace sanity: every task arrives before any other
+// event, finishes at most once, times are non-decreasing, and no task
+// receives an allocation after finishing.
+func (tr *Trace) Validate() error {
+	prev := -1.0
+	arrived := map[int]bool{}
+	finished := map[int]bool{}
+	for i, e := range tr.Events {
+		if e.Time < prev-1e-12 {
+			return fmt.Errorf("sim: trace time went backwards at event %d", i)
+		}
+		prev = e.Time
+		switch e.Kind {
+		case EvArrival:
+			if arrived[e.Task] {
+				return fmt.Errorf("sim: task %d arrived twice", e.Task)
+			}
+			arrived[e.Task] = true
+		case EvAlloc:
+			if !arrived[e.Task] {
+				return fmt.Errorf("sim: task %d allocated before arrival", e.Task)
+			}
+			if finished[e.Task] {
+				return fmt.Errorf("sim: task %d allocated after finishing", e.Task)
+			}
+		case EvFinish:
+			if !arrived[e.Task] {
+				return fmt.Errorf("sim: task %d finished before arrival", e.Task)
+			}
+			if finished[e.Task] {
+				return fmt.Errorf("sim: task %d finished twice", e.Task)
+			}
+			finished[e.Task] = true
+		}
+	}
+	return nil
+}
+
+// String renders the timeline, one event per line.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case EvAlloc:
+			fmt.Fprintf(&b, "%9.3f ms  %-6s task %-3d %-16s -> %d subarrays\n",
+				e.Time*1e3, e.Kind, e.Task, e.Model, e.Alloc)
+		default:
+			fmt.Fprintf(&b, "%9.3f ms  %-6s task %-3d %-16s\n",
+				e.Time*1e3, e.Kind, e.Task, e.Model)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,410 @@
+// Package systolic is a functional, cycle-level simulator of the
+// (omni-directional) systolic PE grid. It moves real int8 activation and
+// int32 partial-sum tokens through PEs one clock cycle at a time — no
+// closed-form shortcuts — and therefore serves as the ground truth the
+// analytical model in internal/model is cross-validated against, playing
+// the role the paper's Verilog implementation played for its simulator.
+//
+// The engine computes in *flow coordinates*: partial sums advance in the
+// +row direction and activations in the +column direction. The
+// omni-directional feature — which physical edge is "first" — is a
+// routing concern handled by the mux network; internal/arch produces and
+// validates those per-subarray direction/link bits (see
+// ChipState.StageShape and the serpentine tests). Here the physically
+// routed cluster appears as a straight logical array with pipeline
+// boundary registers between subarrays.
+package systolic
+
+import (
+	"fmt"
+)
+
+// BoundaryDelay is the extra pipeline latency a token pays when crossing
+// a subarray boundary (the registered ring-bus segment). It must match
+// the analytical model's assumption; internal/model cross-validates this.
+const BoundaryDelay = 2
+
+// ClusterSpec places one logical systolic cluster on the grid.
+type ClusterSpec struct {
+	// BandRow, BandCol locate the cluster's top-left subarray band.
+	BandRow, BandCol int
+	// H, W are the cluster extent in subarray bands.
+	H, W int
+}
+
+// tokenKind discriminates deliveries.
+type tokenKind uint8
+
+const (
+	actToken tokenKind = iota
+	psumToken
+	weightToken
+)
+
+// delivery is one token arriving at a PE (or collector) at a given cycle.
+type delivery struct {
+	cycle   int64
+	cluster int
+	kind    tokenKind
+	row     int // cluster-local row; row == K means the output collector
+	col     int // cluster-local col
+	m       int // activation-row index the token belongs to
+	v       int32
+}
+
+type cluster struct {
+	spec    ClusterSpec
+	m, k, n int
+	w       [][]int8 // k×n weights
+	// loaded[r][c] marks the weight as present in the PE. When the
+	// cluster uses streamed loading, weights arrive as tokens shifting
+	// down the columns (bottom row first, so every row lands at cycle
+	// K−1 plus its band-boundary delays); with preloading every entry
+	// starts true.
+	loaded  [][]bool
+	out     [][]int32
+	outSeen [][]bool
+	pending int
+	lastOut int64
+}
+
+// Grid is a functional multi-cluster systolic array simulator.
+type Grid struct {
+	subR, subC     int
+	bandsR, bandsC int
+	owner          [][]int // band ownership, -1 = free
+	clusters       []*cluster
+	queue          map[int64][]delivery
+	cycle          int64
+	ran            bool
+}
+
+// New creates a grid of bandsR×bandsC subarrays, each subR×subC PEs.
+func New(subR, subC, bandsR, bandsC int) (*Grid, error) {
+	if subR <= 0 || subC <= 0 || bandsR <= 0 || bandsC <= 0 {
+		return nil, fmt.Errorf("systolic: non-positive grid dims %d %d %d %d", subR, subC, bandsR, bandsC)
+	}
+	owner := make([][]int, bandsR)
+	for i := range owner {
+		owner[i] = make([]int, bandsC)
+		for j := range owner[i] {
+			owner[i][j] = -1
+		}
+	}
+	return &Grid{
+		subR: subR, subC: subC,
+		bandsR: bandsR, bandsC: bandsC,
+		owner: owner,
+		queue: make(map[int64][]delivery),
+	}, nil
+}
+
+// AddCluster claims the spec's subarray bands for a new logical cluster
+// and schedules an M×K×N GEMM on it: weights (K×N) are preloaded, the
+// activation matrix A (M×K) is injected with the systolic skew the
+// compiler programs into the pod buffers. Returns the cluster id.
+func (g *Grid) AddCluster(spec ClusterSpec, wts [][]int8, a [][]int8) (int, error) {
+	return g.addCluster(spec, wts, a, false)
+}
+
+// AddClusterStreamLoad is AddCluster with the weight-load phase
+// simulated: weight rows stream from the weight buffer one row per cycle
+// (bottom row first) and shift down the columns, so the array is fully
+// loaded at cycle K−1 (plus band-boundary registers); activations are
+// skewed to start exactly then — the exposed first-tile load the
+// analytical model charges.
+func (g *Grid) AddClusterStreamLoad(spec ClusterSpec, wts [][]int8, a [][]int8) (int, error) {
+	return g.addCluster(spec, wts, a, true)
+}
+
+func (g *Grid) addCluster(spec ClusterSpec, wts [][]int8, a [][]int8, streamLoad bool) (int, error) {
+	if g.ran {
+		return 0, fmt.Errorf("systolic: grid already ran")
+	}
+	if spec.H <= 0 || spec.W <= 0 ||
+		spec.BandRow < 0 || spec.BandCol < 0 ||
+		spec.BandRow+spec.H > g.bandsR || spec.BandCol+spec.W > g.bandsC {
+		return 0, fmt.Errorf("systolic: cluster %+v out of grid %dx%d bands", spec, g.bandsR, g.bandsC)
+	}
+	for r := spec.BandRow; r < spec.BandRow+spec.H; r++ {
+		for c := spec.BandCol; c < spec.BandCol+spec.W; c++ {
+			if g.owner[r][c] != -1 {
+				return 0, fmt.Errorf("systolic: band (%d,%d) already owned by cluster %d", r, c, g.owner[r][c])
+			}
+		}
+	}
+
+	k := len(wts)
+	if k == 0 {
+		return 0, fmt.Errorf("systolic: empty weight matrix")
+	}
+	n := len(wts[0])
+	m := len(a)
+	if m == 0 {
+		return 0, fmt.Errorf("systolic: empty activation matrix")
+	}
+	rows := spec.H * g.subR
+	cols := spec.W * g.subC
+	if k > rows || n > cols {
+		return 0, fmt.Errorf("systolic: weight tile %dx%d exceeds cluster %dx%d PEs", k, n, rows, cols)
+	}
+	for i := range wts {
+		if len(wts[i]) != n {
+			return 0, fmt.Errorf("systolic: ragged weight matrix row %d", i)
+		}
+	}
+	for i := range a {
+		if len(a[i]) != k {
+			return 0, fmt.Errorf("systolic: activation row %d has %d cols, want K=%d", i, len(a[i]), k)
+		}
+	}
+
+	id := len(g.clusters)
+	cl := &cluster{spec: spec, m: m, k: k, n: n, w: wts, pending: m * n}
+	cl.out = make([][]int32, m)
+	cl.outSeen = make([][]bool, m)
+	for i := range cl.out {
+		cl.out[i] = make([]int32, n)
+		cl.outSeen[i] = make([]bool, n)
+	}
+	cl.loaded = make([][]bool, k)
+	for i := range cl.loaded {
+		cl.loaded[i] = make([]bool, n)
+		for j := range cl.loaded[i] {
+			cl.loaded[i][j] = !streamLoad
+		}
+	}
+	g.clusters = append(g.clusters, cl)
+	for r := spec.BandRow; r < spec.BandRow+spec.H; r++ {
+		for c := spec.BandCol; c < spec.BandCol+spec.W; c++ {
+			g.owner[r][c] = id
+		}
+	}
+
+	// Streamed weight load: one row per cycle from the top edge, bottom
+	// row (k−1) first so every row lands at cycle (k−1) plus the
+	// band-boundary registers it crossed.
+	actBase := 0
+	if streamLoad {
+		for ki := k - 1; ki >= 0; ki-- {
+			issue := int64(k - 1 - ki)
+			for ni := 0; ni < n; ni++ {
+				g.push(delivery{
+					cycle: issue, cluster: id, kind: weightToken,
+					row: 0, col: ni, m: ki, v: int32(wts[ki][ni]),
+				})
+			}
+		}
+		actBase = k - 1
+	}
+
+	// Inject activations: a[mi][ki] enters row ki's first column at cycle
+	// base + mi + ki + BoundaryDelay·(ki/subR). The band offset keeps the
+	// activation wavefront aligned with partial sums that paid the
+	// boundary register crossing — this is the skew the compiler programs.
+	for mi := 0; mi < m; mi++ {
+		for ki := 0; ki < k; ki++ {
+			t := int64(actBase + mi + ki + BoundaryDelay*(ki/g.subR))
+			g.push(delivery{
+				cycle: t, cluster: id, kind: actToken,
+				row: ki, col: 0, m: mi, v: int32(a[mi][ki]),
+			})
+		}
+	}
+	return id, nil
+}
+
+func (g *Grid) push(d delivery) {
+	g.queue[d.cycle] = append(g.queue[d.cycle], d)
+}
+
+// Run simulates until every cluster has drained all outputs or maxCycles
+// elapse. It returns the number of cycles simulated.
+func (g *Grid) Run(maxCycles int64) (int64, error) {
+	if g.ran {
+		return 0, fmt.Errorf("systolic: grid already ran")
+	}
+	g.ran = true
+	if len(g.clusters) == 0 {
+		return 0, fmt.Errorf("systolic: no clusters")
+	}
+	remaining := 0
+	for _, cl := range g.clusters {
+		remaining += cl.pending
+	}
+
+	// acts[cluster] holds the activation token present at each PE this
+	// cycle; psums likewise. Maps keyed by (row, col) stay small because
+	// a wavefront touches each PE once per cycle.
+	for g.cycle = 0; g.cycle <= maxCycles && remaining > 0; g.cycle++ {
+		ds := g.queue[g.cycle]
+		if len(ds) == 0 {
+			continue
+		}
+		delete(g.queue, g.cycle)
+
+		// Weight tokens first: a weight reaching its destination row is
+		// captured into the PE the same cycle an aligned activation may
+		// use it; otherwise it shifts down one row (plus the boundary
+		// register when crossing bands).
+		for _, d := range ds {
+			if d.kind != weightToken {
+				continue
+			}
+			cl := g.clusters[d.cluster]
+			if d.row == d.m {
+				cl.loaded[d.row][d.col] = true
+				continue
+			}
+			if d.row > d.m || d.row+1 > cl.k {
+				return g.cycle, fmt.Errorf("systolic: weight token overshot row %d (dest %d)", d.row, d.m)
+			}
+			delay := int64(1)
+			if (d.row+1)%g.subR == 0 && d.row+1 < cl.k {
+				delay += BoundaryDelay
+			}
+			nd := d
+			nd.cycle = g.cycle + delay
+			nd.row = d.row + 1
+			g.push(nd)
+		}
+
+		// Pair act and psum tokens arriving at the same PE this cycle.
+		type key struct{ cl, row, col int }
+		acts := make(map[key]delivery)
+		psums := make(map[key]delivery)
+		for _, d := range ds {
+			if d.kind == weightToken {
+				continue
+			}
+			cl := g.clusters[d.cluster]
+			if d.kind == psumToken && d.row == cl.k {
+				// Output collector at the cluster's drain edge.
+				if d.m < 0 || d.m >= cl.m || d.col < 0 || d.col >= cl.n {
+					return g.cycle, fmt.Errorf("systolic: stray output token m=%d col=%d cluster=%d", d.m, d.col, d.cluster)
+				}
+				if cl.outSeen[d.m][d.col] {
+					return g.cycle, fmt.Errorf("systolic: duplicate output (%d,%d) cluster=%d", d.m, d.col, d.cluster)
+				}
+				cl.outSeen[d.m][d.col] = true
+				cl.out[d.m][d.col] = d.v
+				cl.pending--
+				cl.lastOut = g.cycle
+				remaining--
+				continue
+			}
+			k := key{d.cluster, d.row, d.col}
+			switch d.kind {
+			case actToken:
+				if prev, dup := acts[k]; dup {
+					return g.cycle, fmt.Errorf("systolic: act collision at %+v (m=%d,m=%d)", k, prev.m, d.m)
+				}
+				acts[k] = d
+			case psumToken:
+				if prev, dup := psums[k]; dup {
+					return g.cycle, fmt.Errorf("systolic: psum collision at %+v (m=%d,m=%d)", k, prev.m, d.m)
+				}
+				psums[k] = d
+			}
+		}
+
+		// Each PE holding an activation computes and forwards.
+		for k, ad := range acts {
+			cl := g.clusters[k.cl]
+			var p int32
+			if k.row > 0 {
+				pd, ok := psums[k]
+				if !ok {
+					return g.cycle, fmt.Errorf("systolic: act token (cluster %d, PE %d,%d, m=%d) missing partial sum", k.cl, k.row, k.col, ad.m)
+				}
+				if pd.m != ad.m {
+					return g.cycle, fmt.Errorf("systolic: wavefront misalignment at PE (%d,%d): act m=%d psum m=%d", k.row, k.col, ad.m, pd.m)
+				}
+				p = pd.v
+				delete(psums, k)
+			}
+			if !cl.loaded[k.row][k.col] {
+				return g.cycle, fmt.Errorf("systolic: PE (%d,%d) computed before its weight loaded (cluster %d, m=%d)",
+					k.row, k.col, k.cl, ad.m)
+			}
+			p += int32(int8(ad.v)) * int32(cl.w[k.row][k.col])
+
+			// Forward the partial sum down, paying the boundary register
+			// when leaving a subarray band (or into the collector).
+			pDelay := int64(1)
+			if (k.row+1)%g.subR == 0 && k.row+1 < cl.k {
+				pDelay += BoundaryDelay
+			}
+			g.push(delivery{
+				cycle: g.cycle + pDelay, cluster: k.cl, kind: psumToken,
+				row: k.row + 1, col: k.col, m: ad.m, v: p,
+			})
+
+			// Forward the activation along the row while more weight
+			// columns remain.
+			if k.col+1 < cl.n {
+				aDelay := int64(1)
+				if (k.col+1)%g.subC == 0 {
+					aDelay += BoundaryDelay
+				}
+				g.push(delivery{
+					cycle: g.cycle + aDelay, cluster: k.cl, kind: actToken,
+					row: k.row, col: k.col + 1, m: ad.m, v: ad.v,
+				})
+			}
+		}
+		// Any psum token left unpaired below row 0 is a timing bug.
+		for k, pd := range psums {
+			if k.row > 0 {
+				return g.cycle, fmt.Errorf("systolic: orphan psum at PE (%d,%d) m=%d cluster=%d", k.row, k.col, pd.m, k.cl)
+			}
+		}
+	}
+	if remaining > 0 {
+		return g.cycle, fmt.Errorf("systolic: %d outputs still pending after %d cycles", remaining, maxCycles)
+	}
+	return g.cycle, nil
+}
+
+// Output returns cluster id's M×N result matrix. Valid after Run.
+func (g *Grid) Output(id int) ([][]int32, error) {
+	if id < 0 || id >= len(g.clusters) {
+		return nil, fmt.Errorf("systolic: no cluster %d", id)
+	}
+	cl := g.clusters[id]
+	if cl.pending != 0 {
+		return nil, fmt.Errorf("systolic: cluster %d still has %d outputs pending", id, cl.pending)
+	}
+	return cl.out, nil
+}
+
+// DrainCycle returns the cycle at which cluster id's last output emerged
+// (0-indexed); total streaming latency is DrainCycle+1 cycles.
+func (g *Grid) DrainCycle(id int) (int64, error) {
+	if id < 0 || id >= len(g.clusters) {
+		return 0, fmt.Errorf("systolic: no cluster %d", id)
+	}
+	return g.clusters[id].lastOut, nil
+}
+
+// Reference computes the M×N GEMM a·w on the host for verification.
+func Reference(a [][]int8, w [][]int8) [][]int32 {
+	m := len(a)
+	k := len(w)
+	n := 0
+	if k > 0 {
+		n = len(w[0])
+	}
+	out := make([][]int32, m)
+	for i := 0; i < m; i++ {
+		out[i] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			var s int32
+			for x := 0; x < k; x++ {
+				s += int32(a[i][x]) * int32(w[x][j])
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) [][]int8 {
+	m := make([][]int8, r)
+	for i := range m {
+		m[i] = make([]int8, c)
+		for j := range m[i] {
+			m[i][j] = int8(rng.Intn(256) - 128)
+		}
+	}
+	return m
+}
+
+func equal(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func runSingle(t *testing.T, subR, subC, h, w, m, k, n int, seed int64) (*Grid, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := New(subR, subC, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wts := randMat(rng, k, n)
+	a := randMat(rng, m, k)
+	id, err := g.AddCluster(ClusterSpec{0, 0, h, w}, wts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(int64(10 * (m + k + n + 100))); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Output(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Reference(a, wts); !equal(out, want) {
+		t.Fatalf("GEMM mismatch for %dx%dx%d on %dx%d bands", m, k, n, h, w)
+	}
+	drain, err := g.DrainCycle(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, drain
+}
+
+func TestSingleSubarrayGEMM(t *testing.T) {
+	// Full-tile GEMM on one 8×8 subarray: streaming latency is exactly
+	// M + K + N − 1 cycles.
+	_, drain := runSingle(t, 8, 8, 1, 1, 12, 8, 8, 1)
+	if got, want := drain+1, int64(12+8+8-1); got != want {
+		t.Fatalf("streaming latency = %d, want %d", got, want)
+	}
+}
+
+func TestPartialTileGEMM(t *testing.T) {
+	// K and N smaller than the array: latency shrinks accordingly.
+	_, drain := runSingle(t, 8, 8, 1, 1, 5, 3, 4, 2)
+	if got, want := drain+1, int64(5+3+4-1); got != want {
+		t.Fatalf("streaming latency = %d, want %d", got, want)
+	}
+}
+
+func TestChainedHorizontalBoundaryDelay(t *testing.T) {
+	// N spans 2 bands: the activation wavefront pays one boundary
+	// crossing; latency = M+K+N−1 + BoundaryDelay.
+	_, drain := runSingle(t, 4, 4, 1, 2, 6, 4, 8, 3)
+	if got, want := drain+1, int64(6+4+8-1+BoundaryDelay); got != want {
+		t.Fatalf("streaming latency = %d, want %d", got, want)
+	}
+}
+
+func TestChainedVerticalBoundaryDelay(t *testing.T) {
+	// K spans 2 bands: partial sums pay one boundary crossing.
+	_, drain := runSingle(t, 4, 4, 2, 1, 6, 8, 4, 4)
+	if got, want := drain+1, int64(6+8+4-1+BoundaryDelay); got != want {
+		t.Fatalf("streaming latency = %d, want %d", got, want)
+	}
+}
+
+func TestChainedBothDimensions(t *testing.T) {
+	// A 2×2-band cluster fully used: both chain delays apply.
+	_, drain := runSingle(t, 4, 4, 2, 2, 10, 8, 8, 5)
+	if got, want := drain+1, int64(10+8+8-1+2*BoundaryDelay); got != want {
+		t.Fatalf("streaming latency = %d, want %d", got, want)
+	}
+}
+
+func TestLongChain(t *testing.T) {
+	// A 1×4 chain (the paper's fat-short (32×512)-style shape, scaled
+	// down): three boundary crossings.
+	_, drain := runSingle(t, 4, 4, 1, 4, 9, 4, 16, 6)
+	if got, want := drain+1, int64(9+4+16-1+3*BoundaryDelay); got != want {
+		t.Fatalf("streaming latency = %d, want %d", got, want)
+	}
+}
+
+func TestGEMMCorrectnessProperty(t *testing.T) {
+	// Random shapes on random band layouts always match the reference.
+	rng := rand.New(rand.NewSource(99))
+	f := func(mm, kk, nn, hh, ww uint8) bool {
+		h := int(hh)%2 + 1
+		w := int(ww)%2 + 1
+		subR, subC := 4, 4
+		m := int(mm)%12 + 1
+		k := int(kk)%(h*subR) + 1
+		n := int(nn)%(w*subC) + 1
+		g, err := New(subR, subC, h, w)
+		if err != nil {
+			return false
+		}
+		wts := randMat(rng, k, n)
+		a := randMat(rng, m, k)
+		id, err := g.AddCluster(ClusterSpec{0, 0, h, w}, wts, a)
+		if err != nil {
+			return false
+		}
+		if _, err := g.Run(int64(10 * (m + k + n + 100))); err != nil {
+			return false
+		}
+		out, err := g.Output(id)
+		if err != nil {
+			return false
+		}
+		return equal(out, Reference(a, wts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFissionedClustersRunIndependently(t *testing.T) {
+	// Four independent 4×4 subarrays each run their own GEMM
+	// concurrently — the spatial co-location the architecture exists for.
+	rng := rand.New(rand.NewSource(11))
+	g, err := New(4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		id  int
+		a   [][]int8
+		wts [][]int8
+	}
+	var jobs []job
+	dims := [][3]int{{5, 4, 4}, {7, 3, 4}, {4, 4, 2}, {9, 2, 3}}
+	i := 0
+	for br := 0; br < 2; br++ {
+		for bc := 0; bc < 2; bc++ {
+			d := dims[i]
+			wts := randMat(rng, d[1], d[2])
+			a := randMat(rng, d[0], d[1])
+			id, err := g.AddCluster(ClusterSpec{br, bc, 1, 1}, wts, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job{id, a, wts})
+			i++
+		}
+	}
+	if _, err := g.Run(4096); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		out, err := g.Output(j.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(out, Reference(j.a, j.wts)) {
+			t.Fatalf("cluster %d output mismatch", j.id)
+		}
+	}
+}
+
+func TestHeterogeneousCoLocation(t *testing.T) {
+	// One 2×1 cluster and two 1×1 clusters co-located — a heterogeneous
+	// fission scheme like the paper's Fig 1(c).
+	rng := rand.New(rand.NewSource(21))
+	g, err := New(4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBig := randMat(rng, 8, 4)
+	aBig := randMat(rng, 6, 8)
+	big, err := g.AddCluster(ClusterSpec{0, 0, 2, 1}, wBig, aBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := randMat(rng, 4, 4)
+	a1 := randMat(rng, 3, 4)
+	s1, err := g.AddCluster(ClusterSpec{0, 1, 1, 1}, w1, a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := randMat(rng, 2, 3)
+	a2 := randMat(rng, 5, 2)
+	s2, err := g.AddCluster(ClusterSpec{1, 1, 1, 1}, w2, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(4096); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		id  int
+		a   [][]int8
+		wts [][]int8
+	}{{big, aBig, wBig}, {s1, a1, w1}, {s2, a2, w2}} {
+		out, err := g.Output(c.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(out, Reference(c.a, c.wts)) {
+			t.Fatalf("cluster %d mismatch", c.id)
+		}
+	}
+}
+
+func TestOverlappingClustersRejected(t *testing.T) {
+	g, _ := New(4, 4, 2, 2)
+	w := randMat(rand.New(rand.NewSource(1)), 4, 4)
+	a := randMat(rand.New(rand.NewSource(2)), 4, 4)
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 2, 2}, w, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddCluster(ClusterSpec{1, 1, 1, 1}, w, a); err == nil {
+		t.Fatal("expected overlap rejection")
+	}
+}
+
+func TestOversizedTileRejected(t *testing.T) {
+	g, _ := New(4, 4, 1, 1)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, randMat(rng, 5, 4), randMat(rng, 2, 5)); err == nil {
+		t.Fatal("expected K > rows rejection")
+	}
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, randMat(rng, 4, 5), randMat(rng, 2, 4)); err == nil {
+		t.Fatal("expected N > cols rejection")
+	}
+}
+
+func TestMalformedInputsRejected(t *testing.T) {
+	g, _ := New(4, 4, 1, 1)
+	rng := rand.New(rand.NewSource(4))
+	// Ragged weights.
+	w := randMat(rng, 3, 3)
+	w[1] = w[1][:2]
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, w, randMat(rng, 2, 3)); err == nil {
+		t.Fatal("expected ragged-weight rejection")
+	}
+	// Activation K mismatch.
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, randMat(rng, 3, 3), randMat(rng, 2, 4)); err == nil {
+		t.Fatal("expected activation-width rejection")
+	}
+	// Out-of-grid placement.
+	if _, err := g.AddCluster(ClusterSpec{0, 1, 1, 1}, randMat(rng, 3, 3), randMat(rng, 2, 3)); err == nil {
+		t.Fatal("expected out-of-grid rejection")
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	g, _ := New(4, 4, 1, 1)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, randMat(rng, 2, 2), randMat(rng, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(1000); err == nil {
+		t.Fatal("expected second Run rejection")
+	}
+}
+
+func TestRunWithoutClusters(t *testing.T) {
+	g, _ := New(4, 4, 1, 1)
+	if _, err := g.Run(10); err == nil {
+		t.Fatal("expected error running empty grid")
+	}
+}
+
+func TestTimeoutReported(t *testing.T) {
+	g, _ := New(4, 4, 1, 1)
+	rng := rand.New(rand.NewSource(6))
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, randMat(rng, 4, 4), randMat(rng, 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(3); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestStreamLoadCorrectAndExposed(t *testing.T) {
+	// With the load phase simulated, the result is unchanged and the
+	// drain extends by exactly K−1 cycles (the exposed first load).
+	rng := rand.New(rand.NewSource(31))
+	for _, dims := range [][3]int{{6, 4, 4}, {9, 8, 5}, {5, 3, 7}, {7, 1, 4}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		wts := randMat(rng, k, n)
+		a := randMat(rng, m, k)
+
+		pre, err := New(8, 8, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idPre, err := pre.AddCluster(ClusterSpec{0, 0, 1, 1}, wts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pre.Run(4096); err != nil {
+			t.Fatal(err)
+		}
+		dPre, _ := pre.DrainCycle(idPre)
+
+		ld, err := New(8, 8, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idLd, err := ld.AddClusterStreamLoad(ClusterSpec{0, 0, 1, 1}, wts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ld.Run(4096); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ld.Output(idLd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(out, Reference(a, wts)) {
+			t.Fatalf("stream-load GEMM mismatch for %v", dims)
+		}
+		dLd, _ := ld.DrainCycle(idLd)
+		if got, want := dLd-dPre, int64(k-1); got != want {
+			t.Fatalf("%v: load exposure = %d cycles, want K-1 = %d", dims, got, want)
+		}
+	}
+}
+
+func TestStreamLoadChainedVertical(t *testing.T) {
+	// K spanning two bands: weight tokens pay the band-boundary register
+	// like partial sums do, and the result stays correct.
+	rng := rand.New(rand.NewSource(37))
+	m, k, n := 6, 8, 4
+	wts := randMat(rng, k, n)
+	a := randMat(rng, m, k)
+	g, err := New(4, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.AddClusterStreamLoad(ClusterSpec{0, 0, 2, 1}, wts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(4096); err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Output(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(out, Reference(a, wts)) {
+		t.Fatal("chained stream-load GEMM mismatch")
+	}
+}
+
+func TestStreamLoadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(mm, kk, nn uint8) bool {
+		m := int(mm)%10 + 1
+		k := int(kk)%8 + 1
+		n := int(nn)%8 + 1
+		wts := randMat(rng, k, n)
+		a := randMat(rng, m, k)
+		g, err := New(8, 8, 1, 1)
+		if err != nil {
+			return false
+		}
+		id, err := g.AddClusterStreamLoad(ClusterSpec{0, 0, 1, 1}, wts, a)
+		if err != nil {
+			return false
+		}
+		if _, err := g.Run(4096); err != nil {
+			return false
+		}
+		out, err := g.Output(id)
+		if err != nil {
+			return false
+		}
+		return equal(out, Reference(a, wts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

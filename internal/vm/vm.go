@@ -1,0 +1,487 @@
+// Package vm is the functional execution backend: it runs a compiled
+// macro-instruction binary for a network with real int8 data, driving the
+// cycle-level systolic grid for every GEMM tile and host-modelled SIMD
+// vector-unit code for the rest. Its output is bit-exact against the pure
+// host reference (Reference), which is how the repository demonstrates
+// that the compiler's tiling and the omni-directional grid actually
+// compute the network — the end-to-end counterpart of the paper's RTL
+// validation.
+//
+// Tensors are laid out H×W×C, int8, with int32 accumulation and a
+// right-shift requantization between layers (TPU-style).
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/dnn"
+	"planaria/internal/isa"
+	"planaria/internal/systolic"
+)
+
+// requantShift is the right shift applied to int32 accumulators between
+// layers.
+const requantShift = 3
+
+func requant(v int32) int8 {
+	v >>= requantShift
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// Machine holds a network and its (randomly initialized) weights.
+type Machine struct {
+	cfg     arch.Config
+	net     *dnn.Network
+	weights [][][]int8 // per GEMM layer: K×N (DWConv: K=KH·KW, N=InC)
+}
+
+// NewMachine builds a machine with deterministic random weights in
+// [-3, 3] (small magnitudes keep multi-layer accumulators meaningful
+// after requantization).
+func NewMachine(cfg arch.Config, net *dnn.Network, seed int64) (*Machine, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Machine{cfg: cfg, net: net, weights: make([][][]int8, len(net.Layers))}
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		if !l.Kind.IsGEMM() {
+			continue
+		}
+		k, n := weightDims(l)
+		w := make([][]int8, k)
+		for r := range w {
+			w[r] = make([]int8, n)
+			for c := range w[r] {
+				w[r][c] = int8(rng.Intn(7) - 3)
+			}
+		}
+		m.weights[i] = w
+	}
+	return m, nil
+}
+
+// weightDims returns the weight matrix dimensions for a GEMM layer.
+func weightDims(l *dnn.Layer) (k, n int) {
+	if l.Kind == dnn.DWConv {
+		return l.KH * l.KW, l.InC
+	}
+	_, k, n = l.GEMM()
+	return k, n
+}
+
+// RandomInput produces a deterministic random input tensor for the
+// machine's network.
+func (m *Machine) RandomInput(seed int64) []int8 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int8, m.net.InputH*m.net.InputW*m.net.InputC)
+	for i := range in {
+		in[i] = int8(rng.Intn(9) - 4)
+	}
+	return in
+}
+
+// tensor is an H×W×C int8 activation map.
+type tensor struct {
+	h, w, c int
+	data    []int8
+}
+
+func (t *tensor) at(y, x, ch int) int8 {
+	if y < 0 || x < 0 || y >= t.h || x >= t.w {
+		return 0 // zero padding
+	}
+	return t.data[(y*t.w+x)*t.c+ch]
+}
+
+// im2col builds the M×K activation matrix of a convolution.
+func im2col(in *tensor, l *dnn.Layer) [][]int8 {
+	mrows := l.OutH * l.OutW
+	k := l.KH * l.KW * l.InC
+	a := make([][]int8, mrows)
+	for oh := 0; oh < l.OutH; oh++ {
+		for ow := 0; ow < l.OutW; ow++ {
+			row := make([]int8, k)
+			idx := 0
+			for ky := 0; ky < l.KH; ky++ {
+				for kx := 0; kx < l.KW; kx++ {
+					for ch := 0; ch < l.InC; ch++ {
+						row[idx] = in.at(oh*l.Stride+ky-l.Pad, ow*l.Stride+kx-l.Pad, ch)
+						idx++
+					}
+				}
+			}
+			a[oh*l.OutW+ow] = row
+		}
+	}
+	return a
+}
+
+// im2colChannel builds the M×(KH·KW) matrix of one depthwise channel.
+func im2colChannel(in *tensor, l *dnn.Layer, ch int) [][]int8 {
+	mrows := l.OutH * l.OutW
+	k := l.KH * l.KW
+	a := make([][]int8, mrows)
+	for oh := 0; oh < l.OutH; oh++ {
+		for ow := 0; ow < l.OutW; ow++ {
+			row := make([]int8, k)
+			idx := 0
+			for ky := 0; ky < l.KH; ky++ {
+				for kx := 0; kx < l.KW; kx++ {
+					row[idx] = in.at(oh*l.Stride+ky-l.Pad, ow*l.Stride+kx-l.Pad, ch)
+					idx++
+				}
+			}
+			a[oh*l.OutW+ow] = row
+		}
+	}
+	return a
+}
+
+// gemmOnGrid runs an M×K×N GEMM tiled onto systolic clusters of the given
+// shape, accumulating across K-tiles host-side (the output-buffer
+// accumulation of the real design). Returns the int32 result and the
+// systolic cycles spent (sum over tiles — clusters within a shape run in
+// parallel, so parallel tiles count once).
+func (m *Machine) gemmOnGrid(a [][]int8, w [][]int8, sh arch.Shape) ([][]int32, int64, error) {
+	mrows := len(a)
+	k := len(w)
+	if k == 0 || mrows == 0 {
+		return nil, 0, fmt.Errorf("vm: empty GEMM operands")
+	}
+	n := len(w[0])
+	r := sh.PERows(m.cfg)
+	c := sh.PECols(m.cfg)
+
+	out := make([][]int32, mrows)
+	for i := range out {
+		out[i] = make([]int32, n)
+	}
+	var cycles int64
+	for k0 := 0; k0 < k; k0 += r {
+		k1 := min(k0+r, k)
+		for n0 := 0; n0 < n; n0 += c {
+			n1 := min(n0+c, n)
+			wt := make([][]int8, k1-k0)
+			for i := range wt {
+				wt[i] = w[k0+i][n0:n1]
+			}
+			at := make([][]int8, mrows)
+			for i := range at {
+				at[i] = a[i][k0:k1]
+			}
+			g, err := systolic.New(m.cfg.SubRows, m.cfg.SubCols, sh.H, sh.W)
+			if err != nil {
+				return nil, 0, err
+			}
+			// The load phase is simulated too: weight rows stream in and
+			// shift down before activations start (AddClusterStreamLoad).
+			id, err := g.AddClusterStreamLoad(systolic.ClusterSpec{H: sh.H, W: sh.W}, wt, at)
+			if err != nil {
+				return nil, 0, err
+			}
+			cy, err := g.Run(int64(10*(mrows+r+c) + 1000))
+			if err != nil {
+				return nil, 0, err
+			}
+			res, err := g.Output(id)
+			if err != nil {
+				return nil, 0, err
+			}
+			for i := 0; i < mrows; i++ {
+				for j := n0; j < n1; j++ {
+					out[i][j] += res[i][j-n0]
+				}
+			}
+			cycles += cy
+		}
+	}
+	return out, cycles, nil
+}
+
+// Result reports a functional execution.
+type Result struct {
+	Output         []int8
+	SystolicCycles int64
+	TilesRun       int64
+	InstrsRetired  int
+}
+
+// Run executes the binary against the machine's weights and the input
+// tensor. The binary's instruction stream is validated and walked
+// instruction by instruction; every MATMUL drives real tiles through the
+// cycle-level grid. Networks containing Repeat>1 layers (recurrent
+// unrolls) are rejected — the functional backend targets feed-forward
+// models.
+func (m *Machine) Run(bin *isa.Binary, tab *compiler.Table, input []int8) (*Result, error) {
+	if err := bin.Validate(); err != nil {
+		return nil, err
+	}
+	if bin.Net != m.net.Name || tab.Net != m.net.Name {
+		return nil, fmt.Errorf("vm: binary/table for %q,%q on machine for %q", bin.Net, tab.Net, m.net.Name)
+	}
+	if want := m.net.InputH * m.net.InputW * m.net.InputC; len(input) != want {
+		return nil, fmt.Errorf("vm: input has %d elements, want %d", len(input), want)
+	}
+	cur := &tensor{h: m.net.InputH, w: m.net.InputW, c: m.net.InputC, data: input}
+	res := &Result{}
+
+	shapes := make(map[int]arch.Shape)
+	executed := make(map[int]bool)
+	for _, in := range bin.Instrs {
+		res.InstrsRetired++
+		li := int(in.Layer)
+		switch in.Op {
+		case isa.OpConfig:
+			shapes[li] = arch.Shape{Clusters: int(in.A), H: int(in.B), W: int(in.C)}
+		case isa.OpMatMul, isa.OpVector:
+			if executed[li] {
+				continue // further tiles of an already-executed layer
+			}
+			executed[li] = true
+			if li >= len(m.net.Layers) {
+				return nil, fmt.Errorf("vm: instruction for layer %d beyond network", li)
+			}
+			l := &m.net.Layers[li]
+			if l.Repeat > 1 {
+				return nil, fmt.Errorf("vm: layer %s has Repeat=%d; functional backend is feed-forward only", l.Name, l.Repeat)
+			}
+			sh, ok := shapes[li]
+			if !ok {
+				return nil, fmt.Errorf("vm: layer %d executed without CONFIG", li)
+			}
+			next, cy, tiles, err := m.execLayer(l, cur, sh)
+			if err != nil {
+				return nil, fmt.Errorf("vm: layer %s: %w", l.Name, err)
+			}
+			cur = next
+			res.SystolicCycles += cy
+			res.TilesRun += tiles
+		}
+	}
+	res.Output = cur.data
+	return res, nil
+}
+
+// execLayer applies one layer to the current tensor.
+func (m *Machine) execLayer(l *dnn.Layer, cur *tensor, sh arch.Shape) (*tensor, int64, int64, error) {
+	switch l.Kind {
+	case dnn.Conv, dnn.FC, dnn.MatMul:
+		var a [][]int8
+		if l.Kind == dnn.Conv {
+			a = im2col(cur, l)
+		} else {
+			// Flatten the current tensor into M=1 rows of K.
+			_, k, _ := l.GEMM()
+			if len(cur.data) != k {
+				return nil, 0, 0, fmt.Errorf("flattened input %d != K %d", len(cur.data), k)
+			}
+			a = [][]int8{cur.data}
+		}
+		out32, cy, err := m.gemmOnGrid(a, m.weights[indexOf(m.net, l)], sh)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		var next *tensor
+		if l.Kind == dnn.Conv {
+			next = &tensor{h: l.OutH, w: l.OutW, c: l.OutC, data: make([]int8, l.OutH*l.OutW*l.OutC)}
+			for p := 0; p < l.OutH*l.OutW; p++ {
+				for ch := 0; ch < l.OutC; ch++ {
+					next.data[p*l.OutC+ch] = requant(out32[p][ch])
+				}
+			}
+		} else {
+			n := len(out32[0])
+			next = &tensor{h: 1, w: 1, c: n, data: make([]int8, n)}
+			for j := 0; j < n; j++ {
+				next.data[j] = requant(out32[0][j])
+			}
+		}
+		return next, cy, int64(len(a)), nil
+
+	case dnn.DWConv:
+		next := &tensor{h: l.OutH, w: l.OutW, c: l.OutC, data: make([]int8, l.OutH*l.OutW*l.OutC)}
+		w := m.weights[indexOf(m.net, l)]
+		var cycles, tiles int64
+		for ch := 0; ch < l.InC; ch++ {
+			a := im2colChannel(cur, l, ch)
+			col := make([][]int8, len(w))
+			for i := range w {
+				col[i] = []int8{w[i][ch]}
+			}
+			out32, cy, err := m.gemmOnGrid(a, col, arch.Shape{Clusters: 1, H: 1, W: 1})
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			for p := 0; p < l.OutH*l.OutW; p++ {
+				next.data[p*l.OutC+ch] = requant(out32[p][0])
+			}
+			// Channels run in parallel across the shape's clusters.
+			if ch%maxInt(sh.Clusters, 1) == 0 {
+				cycles += cy
+			}
+			tiles++
+		}
+		return next, cycles, tiles, nil
+
+	case dnn.Pool:
+		next := &tensor{h: l.OutH, w: l.OutW, c: l.OutC, data: make([]int8, l.OutH*l.OutW*l.OutC)}
+		for oh := 0; oh < l.OutH; oh++ {
+			for ow := 0; ow < l.OutW; ow++ {
+				for ch := 0; ch < l.InC; ch++ {
+					best := int8(-128)
+					for ky := 0; ky < l.KH; ky++ {
+						for kx := 0; kx < l.KW; kx++ {
+							v := cur.at(oh*l.Stride+ky-l.Pad, ow*l.Stride+kx-l.Pad, ch)
+							if v > best {
+								best = v
+							}
+						}
+					}
+					next.data[(oh*l.OutW+ow)*l.OutC+ch] = best
+				}
+			}
+		}
+		return next, 0, 1, nil
+
+	case dnn.GlobalPool:
+		next := &tensor{h: 1, w: 1, c: l.OutC, data: make([]int8, l.OutC)}
+		for ch := 0; ch < l.InC; ch++ {
+			var s int32
+			for y := 0; y < l.InH; y++ {
+				for x := 0; x < l.InW; x++ {
+					s += int32(cur.at(y, x, ch))
+				}
+			}
+			next.data[ch] = int8(s / int32(l.InH*l.InW))
+		}
+		return next, 0, 1, nil
+
+	case dnn.Add:
+		// Serialized residual branch: the reference semantics double the
+		// tensor (x + x) with saturation.
+		next := &tensor{h: cur.h, w: cur.w, c: cur.c, data: make([]int8, len(cur.data))}
+		for i, v := range cur.data {
+			s := int32(v) * 2
+			if s > 127 {
+				s = 127
+			}
+			if s < -128 {
+				s = -128
+			}
+			next.data[i] = int8(s)
+		}
+		return next, 0, 1, nil
+
+	case dnn.Activation:
+		next := &tensor{h: cur.h, w: cur.w, c: cur.c, data: make([]int8, len(cur.data))}
+		for i, v := range cur.data {
+			if v > 0 {
+				next.data[i] = v
+			}
+		}
+		return next, 0, 1, nil
+	}
+	return nil, 0, 0, fmt.Errorf("unsupported layer kind %v", l.Kind)
+}
+
+func indexOf(n *dnn.Network, l *dnn.Layer) int {
+	for i := range n.Layers {
+		if &n.Layers[i] == l {
+			return i
+		}
+	}
+	return -1
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reference executes the network on the host with plain loops — the
+// golden model the grid-backed Run is compared against.
+func (m *Machine) Reference(input []int8) ([]int8, error) {
+	if want := m.net.InputH * m.net.InputW * m.net.InputC; len(input) != want {
+		return nil, fmt.Errorf("vm: input has %d elements, want %d", len(input), want)
+	}
+	cur := &tensor{h: m.net.InputH, w: m.net.InputW, c: m.net.InputC, data: input}
+	for i := range m.net.Layers {
+		l := &m.net.Layers[i]
+		var err error
+		cur, err = m.refLayer(l, cur)
+		if err != nil {
+			return nil, fmt.Errorf("vm: reference layer %s: %w", l.Name, err)
+		}
+	}
+	return cur.data, nil
+}
+
+func (m *Machine) refLayer(l *dnn.Layer, cur *tensor) (*tensor, error) {
+	switch l.Kind {
+	case dnn.Conv, dnn.FC, dnn.MatMul:
+		var a [][]int8
+		if l.Kind == dnn.Conv {
+			a = im2col(cur, l)
+		} else {
+			_, k, _ := l.GEMM()
+			if len(cur.data) != k {
+				return nil, fmt.Errorf("flattened input %d != K %d", len(cur.data), k)
+			}
+			a = [][]int8{cur.data}
+		}
+		out32 := systolic.Reference(a, m.weights[indexOf(m.net, l)])
+		if l.Kind == dnn.Conv {
+			next := &tensor{h: l.OutH, w: l.OutW, c: l.OutC, data: make([]int8, l.OutH*l.OutW*l.OutC)}
+			for p := 0; p < l.OutH*l.OutW; p++ {
+				for ch := 0; ch < l.OutC; ch++ {
+					next.data[p*l.OutC+ch] = requant(out32[p][ch])
+				}
+			}
+			return next, nil
+		}
+		n := len(out32[0])
+		next := &tensor{h: 1, w: 1, c: n, data: make([]int8, n)}
+		for j := 0; j < n; j++ {
+			next.data[j] = requant(out32[0][j])
+		}
+		return next, nil
+	case dnn.DWConv:
+		next := &tensor{h: l.OutH, w: l.OutW, c: l.OutC, data: make([]int8, l.OutH*l.OutW*l.OutC)}
+		w := m.weights[indexOf(m.net, l)]
+		for ch := 0; ch < l.InC; ch++ {
+			a := im2colChannel(cur, l, ch)
+			for p := 0; p < l.OutH*l.OutW; p++ {
+				var s int32
+				for x := 0; x < l.KH*l.KW; x++ {
+					s += int32(a[p][x]) * int32(w[x][ch])
+				}
+				next.data[p*l.OutC+ch] = requant(s)
+			}
+		}
+		return next, nil
+	default:
+		// Vector-unit layers share the exact implementation with Run.
+		out, _, _, err := m.execLayer(l, cur, arch.Shape{Clusters: 1, H: 1, W: 1})
+		return out, err
+	}
+}

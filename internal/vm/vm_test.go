@@ -1,0 +1,175 @@
+package vm
+
+import (
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/compiler"
+	"planaria/internal/dnn"
+)
+
+// smallCfg keeps functional execution fast: a 16×16-PE chip fissionable
+// into 4×4 subarrays.
+func smallCfg() arch.Config {
+	c := arch.Planaria()
+	c.ArrayRows, c.ArrayCols = 16, 16
+	c.SubRows, c.SubCols = 4, 4
+	c.Pods = 4
+	return c
+}
+
+func toyConvNet(t *testing.T) *dnn.Network {
+	t.Helper()
+	b := dnn.NewBuilder("vm-toy", "classification", 8, 8, 3)
+	b.Conv("c1", 6, 3, 1)
+	b.Pool("p1", 2, 2)
+	b.Conv("c2", 8, 3, 1)
+	b.GlobalPool("gp")
+	b.FC("fc", 5)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func toyDWNet(t *testing.T) *dnn.Network {
+	t.Helper()
+	b := dnn.NewBuilder("vm-dw", "classification", 8, 8, 4)
+	b.Conv("c1", 8, 3, 2)
+	b.DWConv("dw", 3, 1)
+	b.Conv("pw", 8, 1, 1)
+	b.Activation("relu")
+	b.GlobalPool("gp")
+	b.FC("fc", 3)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func runThrough(t *testing.T, net *dnn.Network, seed int64) {
+	t.Helper()
+	cfg := smallCfg()
+	m, err := NewMachine(cfg, net, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := compiler.Compile(net, cfg, cfg.NumSubarrays(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := tab.Binary(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := m.RandomInput(seed + 1)
+	got, err := m.Run(bin, tab, append([]int8(nil), input...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Reference(append([]int8(nil), input...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Output) != len(want) {
+		t.Fatalf("output length %d != reference %d", len(got.Output), len(want))
+	}
+	for i := range want {
+		if got.Output[i] != want[i] {
+			t.Fatalf("output[%d] = %d, reference %d (net %s)", i, got.Output[i], want[i], net.Name)
+		}
+	}
+	if got.SystolicCycles <= 0 || got.TilesRun <= 0 || got.InstrsRetired <= 0 {
+		t.Fatalf("degenerate result %+v", got)
+	}
+}
+
+// TestEndToEndConvNet compiles a small conv net, lowers it to a binary,
+// and executes every GEMM tile through the cycle-level grid; the result
+// must be bit-exact against the host reference.
+func TestEndToEndConvNet(t *testing.T) { runThrough(t, toyConvNet(t), 7) }
+
+// TestEndToEndDepthwiseNet exercises the depthwise path (one channel per
+// column, channel parallelism across clusters).
+func TestEndToEndDepthwiseNet(t *testing.T) { runThrough(t, toyDWNet(t), 13) }
+
+func TestEndToEndManySeeds(t *testing.T) {
+	net := toyConvNet(t)
+	for seed := int64(100); seed < 104; seed++ {
+		runThrough(t, net, seed)
+	}
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	cfg := smallCfg()
+	net := toyConvNet(t)
+	m, err := NewMachine(cfg, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := compiler.Compile(net, cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := tab.Binary(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(bin, tab, make([]int8, 5)); err == nil {
+		t.Fatal("expected input size rejection")
+	}
+}
+
+func TestRunRejectsMismatchedBinary(t *testing.T) {
+	cfg := smallCfg()
+	netA := toyConvNet(t)
+	netB := toyDWNet(t)
+	m, err := NewMachine(cfg, netA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabB, err := compiler.Compile(netB, cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binB, err := tabB.Binary(netB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(binB, tabB, m.RandomInput(2)); err == nil {
+		t.Fatal("expected binary/network mismatch rejection")
+	}
+}
+
+func TestRunRejectsRecurrentNets(t *testing.T) {
+	cfg := smallCfg()
+	b := dnn.NewBuilder("rec", "translation", 1, 1, 8)
+	b.MatMul("lstm", 1, 8, 8, 5)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := compiler.Compile(net, cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := tab.Binary(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(bin, tab, make([]int8, 8)); err == nil {
+		t.Fatal("expected Repeat>1 rejection")
+	}
+}
+
+func TestNewMachineRejectsInvalidNet(t *testing.T) {
+	if _, err := NewMachine(smallCfg(), &dnn.Network{Name: "x"}, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,202 @@
+// Package workload generates the multi-tenant INFaaS workloads of the
+// paper's evaluation (§VI-A): inference requests to the Table I benchmark
+// DNNs with Poisson arrivals, uniform priorities in 1..11, and MLPerf
+// server-scenario QoS latency bounds scaled by the QoS level
+// (QoS-S = 1×, QoS-M = 1/4×, QoS-H = 1/16×).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// QoSLevel is one of the paper's three QoS tightness levels.
+type QoSLevel struct {
+	Name  string
+	Scale float64 // multiplier on the MLPerf latency bound
+}
+
+// The three levels evaluated in the paper.
+var (
+	QoSSoft   = QoSLevel{Name: "QoS-S", Scale: 1.0}
+	QoSMedium = QoSLevel{Name: "QoS-M", Scale: 0.25}
+	QoSHard   = QoSLevel{Name: "QoS-H", Scale: 1.0 / 16.0}
+)
+
+// Levels lists the QoS levels in paper order.
+var Levels = []QoSLevel{QoSSoft, QoSMedium, QoSHard}
+
+// BaseQoSSeconds holds the 1× (QoS-S) latency bounds. MLPerf's published
+// numbers target the authors' hardware; following the paper's
+// construction — bounds that are comfortable at QoS-S and stressful but
+// attainable at QoS-H — these are scaled to this repository's simulated
+// substrate so that QoS-H (bound/16) sits at ≈1.5–1.7× each model's
+// isolated latency on the monolithic baseline (see DESIGN.md §3).
+var BaseQoSSeconds = map[string]float64{
+	"ResNet-50":       0.030,
+	"GoogLeNet":       0.015,
+	"MobileNet-v1":    0.075,
+	"EfficientNet-B0": 0.100,
+	"SSD-M":           0.140,
+	"Tiny YOLO":       0.025,
+	"YOLOv3":          0.125,
+	"SSD-R":           0.350,
+	"GNMT":            1.200,
+}
+
+// SLATarget returns the within-deadline fraction MLPerf requires for a
+// domain: 99% for vision tasks, 97% for translation.
+func SLATarget(domain string) float64 {
+	if domain == "translation" {
+		return 0.97
+	}
+	return 0.99
+}
+
+// Scenario is one of the paper's three workload mixes (Table I).
+type Scenario struct {
+	Name   string
+	Models []string
+}
+
+// ScenarioA is the heavier mix (no depthwise convolutions).
+func ScenarioA() Scenario {
+	return Scenario{Name: "Workload-A", Models: []string{
+		"ResNet-50", "GoogLeNet", "YOLOv3", "SSD-R", "GNMT",
+	}}
+}
+
+// ScenarioB is the lighter mix (depthwise-heavy models).
+func ScenarioB() Scenario {
+	return Scenario{Name: "Workload-B", Models: []string{
+		"EfficientNet-B0", "MobileNet-v1", "SSD-M", "Tiny YOLO",
+	}}
+}
+
+// ScenarioC is the mixed workload over all nine models.
+func ScenarioC() Scenario {
+	return Scenario{Name: "Workload-C", Models: []string{
+		"ResNet-50", "GoogLeNet", "YOLOv3", "SSD-R", "GNMT",
+		"EfficientNet-B0", "MobileNet-v1", "SSD-M", "Tiny YOLO",
+	}}
+}
+
+// Scenarios lists the three workloads in paper order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioA(), ScenarioB(), ScenarioC()}
+}
+
+// Request is one dispatched inference task.
+type Request struct {
+	ID       int
+	Model    string
+	Domain   string
+	Arrival  float64 // seconds
+	Priority int     // 1..11, higher is more important
+	QoS      float64 // latency bound in seconds
+	Deadline float64 // Arrival + QoS
+}
+
+// Generate draws n requests from the scenario at mean rate qps under the
+// QoS level, deterministically from seed. Arrivals are Poisson
+// (exponential interarrivals), models uniform over the scenario mix,
+// priorities uniform in 1..11 (following the Google-trace analysis the
+// paper cites).
+func Generate(sc Scenario, level QoSLevel, qps float64, n int, seed int64) ([]Request, error) {
+	if len(sc.Models) == 0 {
+		return nil, fmt.Errorf("workload: scenario %q has no models", sc.Name)
+	}
+	if qps <= 0 || n <= 0 {
+		return nil, fmt.Errorf("workload: need positive qps (%g) and n (%d)", qps, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() / qps
+		model := sc.Models[rng.Intn(len(sc.Models))]
+		base, ok := BaseQoSSeconds[model]
+		if !ok {
+			return nil, fmt.Errorf("workload: no QoS bound for model %q", model)
+		}
+		qos := base * level.Scale
+		reqs = append(reqs, Request{
+			ID:       i,
+			Model:    model,
+			Domain:   domainOf(model),
+			Arrival:  t,
+			Priority: rng.Intn(11) + 1,
+			QoS:      qos,
+			Deadline: t + qos,
+		})
+	}
+	return reqs, nil
+}
+
+func domainOf(model string) string {
+	switch model {
+	case "GNMT":
+		return "translation"
+	case "YOLOv3", "SSD-R", "SSD-M", "Tiny YOLO":
+		return "detection"
+	default:
+		return "classification"
+	}
+}
+
+// MeetsSLA reports whether a completed workload instance satisfies the
+// MLPerf server SLA: per domain, the within-deadline fraction must reach
+// SLATarget. finishes[i] < 0 marks an unfinished request (never
+// compliant).
+func MeetsSLA(reqs []Request, finishes []float64) bool {
+	if len(reqs) != len(finishes) {
+		return false
+	}
+	type counts struct{ ok, total int }
+	per := map[string]*counts{}
+	for i, r := range reqs {
+		c := per[r.Domain]
+		if c == nil {
+			c = &counts{}
+			per[r.Domain] = c
+		}
+		c.total++
+		if finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
+			c.ok++
+		}
+	}
+	for dom, c := range per {
+		if float64(c.ok) < SLATarget(dom)*float64(c.total)-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TailLatencySlack returns the minimum over domains of
+// (achieved within-deadline fraction − required fraction); positive means
+// the SLA holds with margin. Useful for diagnostics and tests.
+func TailLatencySlack(reqs []Request, finishes []float64) float64 {
+	type counts struct{ ok, total int }
+	per := map[string]*counts{}
+	for i, r := range reqs {
+		c := per[r.Domain]
+		if c == nil {
+			c = &counts{}
+			per[r.Domain] = c
+		}
+		c.total++
+		if i < len(finishes) && finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
+			c.ok++
+		}
+	}
+	slack := math.Inf(1)
+	for dom, c := range per {
+		s := float64(c.ok)/float64(c.total) - SLATarget(dom)
+		if s < slack {
+			slack = s
+		}
+	}
+	return slack
+}

@@ -1,0 +1,156 @@
+package planaria
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickPath(t *testing.T) {
+	acc, err := NewAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Deploy(MustModel("MobileNet-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Deploy(MustModel("MobileNet-v1")); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	st, err := acc.EstimateInference("MobileNet-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LatencySeconds <= 0 || st.EnergyJ <= 0 || st.Cycles <= 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+	if _, err := acc.EstimateInference("nope"); err == nil {
+		t.Fatal("undeployed model accepted")
+	}
+	if got := len(acc.Deployed()); got != 1 {
+		t.Fatalf("deployed = %d", got)
+	}
+}
+
+func TestFacadeBaselineSlower(t *testing.T) {
+	pl, err := NewAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewBaselineAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := MustModel("EfficientNet-B0")
+	if err := pl.Deploy(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Deploy(net); err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := pl.EstimateInference("EfficientNet-B0")
+	sb, _ := base.EstimateInference("EfficientNet-B0")
+	if sb.LatencySeconds <= sp.LatencySeconds {
+		t.Fatalf("monolithic %.3g s not slower than Planaria %.3g s on a depthwise model",
+			sb.LatencySeconds, sp.LatencySeconds)
+	}
+}
+
+func TestFacadeServe(t *testing.T) {
+	acc, err := NewAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"MobileNet-v1", "Tiny YOLO"} {
+		if err := acc.Deploy(MustModel(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := Scenario{Name: "pair", Models: []string{"MobileNet-v1", "Tiny YOLO"}}
+	reqs, err := GenerateWorkload(sc, QoSSoft, 200, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := acc.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range out.Finishes {
+		if f < 0 {
+			t.Fatalf("request %d unfinished", i)
+		}
+	}
+	if out.Fairness <= 0 || out.Fairness > 1+1e-9 {
+		t.Fatalf("fairness = %g", out.Fairness)
+	}
+}
+
+func TestFacadeCustomNetwork(t *testing.T) {
+	b := NewBuilder("custom", "classification", 28, 28, 1)
+	b.Conv("c1", 16, 3, 1)
+	b.Pool("p1", 2, 2)
+	b.GlobalPool("gp")
+	b.FC("fc", 10)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(net, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Table(16).TotalCycles <= 0 {
+		t.Fatal("degenerate program")
+	}
+}
+
+func TestFissionShapesExposed(t *testing.T) {
+	shapes := FissionShapes(DefaultConfig(), 16)
+	if len(shapes) == 0 {
+		t.Fatal("no shapes")
+	}
+	full := 0
+	for _, s := range shapes {
+		if s.Subarrays() == 16 {
+			full++
+		}
+	}
+	if full != 15 {
+		t.Fatalf("full-chip shapes = %d, want 15 (Table II)", full)
+	}
+}
+
+func TestModelNamesComplete(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 9 {
+		t.Fatalf("models = %d, want 9", len(names))
+	}
+	for _, n := range names {
+		if _, err := Model(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestFacadeConfigAccessors(t *testing.T) {
+	mono := MonolithicConfig()
+	if mono.NumSubarrays() != 1 {
+		t.Fatalf("monolithic subarrays = %d", mono.NumSubarrays())
+	}
+	acc, err := NewAccelerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Config(); got.NumSubarrays() != 16 {
+		t.Fatalf("accelerator config subarrays = %d", got.NumSubarrays())
+	}
+	opt := DefaultEvalOptions()
+	if opt.Requests <= 0 || opt.Instances <= 0 {
+		t.Fatalf("bad default options %+v", opt)
+	}
+}
+
+func TestFacadeRejectsInvalidConfig(t *testing.T) {
+	var bad Config
+	if _, err := NewAccelerator(bad); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
