@@ -15,6 +15,7 @@ import (
 	"planaria/internal/energy"
 	"planaria/internal/isa"
 	"planaria/internal/model"
+	"planaria/internal/par"
 )
 
 // LayerPlan is one configuration-table row.
@@ -122,16 +123,24 @@ type Program struct {
 	tables []*Table // index 0 = allocation 1
 }
 
-// CompileProgram compiles all allocations 1..NumSubarrays.
+// CompileProgram compiles all allocations 1..NumSubarrays. The
+// allocations are independent, so they compile across a bounded worker
+// pool; tables land at their allocation index and errors surface in
+// allocation order, so the result is identical to a sequential build.
 func CompileProgram(net *dnn.Network, cfg arch.Config, fissionable bool) (*Program, error) {
 	n := cfg.NumSubarrays()
 	p := &Program{Net: net, Cfg: cfg, tables: make([]*Table, n)}
-	for s := 1; s <= n; s++ {
-		t, err := Compile(net, cfg, s, fissionable)
+	errs := make([]error, n)
+	par.ForEach(n, func(i int) {
+		t, err := Compile(net, cfg, i+1, fissionable)
 		if err != nil {
-			return nil, fmt.Errorf("compiler: %s s=%d: %w", net.Name, s, err)
+			errs[i] = fmt.Errorf("compiler: %s s=%d: %w", net.Name, i+1, err)
+			return
 		}
-		p.tables[s-1] = t
+		p.tables[i] = t
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -214,14 +223,33 @@ func (t *Table) Binary(net *dnn.Network, emitLimit int) (*isa.Binary, error) {
 
 // Cache memoizes compiled programs — INFaaS compiles each model once and
 // serves unbounded requests from the precompiled artifact (§IV-C).
+// Concurrent misses for the same key are deduplicated singleflight-style:
+// the first caller compiles while the rest block on its result, so a
+// program compiles exactly once no matter how many goroutines race.
 type Cache struct {
-	mu   sync.Mutex
-	prog map[string]*Program
+	mu     sync.Mutex
+	prog   map[string]*Program
+	flight map[string]*flightCall
+	// compile is CompileProgram, overridable by tests to observe how many
+	// compilations actually run.
+	compile func(*dnn.Network, arch.Config, bool) (*Program, error)
+}
+
+// flightCall tracks one in-progress compilation; done closes when p/err
+// are set.
+type flightCall struct {
+	done chan struct{}
+	p    *Program
+	err  error
 }
 
 // NewCache returns an empty program cache.
 func NewCache() *Cache {
-	return &Cache{prog: make(map[string]*Program)}
+	return &Cache{
+		prog:    make(map[string]*Program),
+		flight:  make(map[string]*flightCall),
+		compile: CompileProgram,
+	}
 }
 
 func cacheKey(name string, cfg arch.Config, fissionable bool) string {
@@ -229,22 +257,34 @@ func cacheKey(name string, cfg arch.Config, fissionable bool) string {
 }
 
 // Program returns (compiling on first use) the program for a network.
+// Failed compilations are not cached: once the in-flight call's waiters
+// have drained, a later call retries.
 func (c *Cache) Program(net *dnn.Network, cfg arch.Config, fissionable bool) (*Program, error) {
 	key := cacheKey(net.Name, cfg, fissionable)
 	c.mu.Lock()
-	p, ok := c.prog[key]
-	c.mu.Unlock()
-	if ok {
+	if p, ok := c.prog[key]; ok {
+		c.mu.Unlock()
 		return p, nil
 	}
-	p, err := CompileProgram(net, cfg, fissionable)
-	if err != nil {
-		return nil, err
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.p, f.err
 	}
-	c.mu.Lock()
-	c.prog[key] = p
+	f := &flightCall{done: make(chan struct{})}
+	c.flight[key] = f
 	c.mu.Unlock()
-	return p, nil
+
+	f.p, f.err = c.compile(net, cfg, fissionable)
+
+	c.mu.Lock()
+	if f.err == nil {
+		c.prog[key] = f.p
+	}
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.p, f.err
 }
 
 // DefaultCache is the process-wide program cache used by the experiment

@@ -1,7 +1,13 @@
 package compiler
 
 import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"planaria/internal/arch"
 	"planaria/internal/dnn"
@@ -254,10 +260,111 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		if progs[i] == nil {
 			t.Fatalf("goroutine %d got no program", i)
 		}
-		// All callers may share one artifact, but duplicates are allowed
-		// only from racing first-compiles; every result must be complete.
 		if progs[i].MaxAlloc() != 16 {
 			t.Fatalf("goroutine %d got incomplete program", i)
+		}
+		// In-flight deduplication: every racing caller must share the one
+		// artifact compiled by the first.
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d got a distinct program — duplicate compile", i)
+		}
+	}
+}
+
+func TestCacheSingleflightCompilesOnce(t *testing.T) {
+	// Hold every caller at a start line, release them at once, and count
+	// how many compilations actually execute: exactly one.
+	c := NewCache()
+	cfg := arch.Planaria()
+	net := dnn.MustByName("Tiny YOLO")
+
+	var compiles atomic.Int32
+	inner := c.compile
+	c.compile = func(n *dnn.Network, cf arch.Config, f bool) (*Program, error) {
+		compiles.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the miss window
+		return inner(n, cf, f)
+	}
+
+	const goroutines = 16
+	start := make(chan struct{})
+	progs := make([]*Program, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			progs[i], errs[i] = c.Program(net, cfg, true)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d got a distinct program", i)
+		}
+	}
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("CompileProgram ran %d times for one key, want 1", got)
+	}
+}
+
+func TestCacheSingleflightRetriesAfterError(t *testing.T) {
+	// A failed compilation must not be cached: waiters share the error,
+	// and a later call retries and succeeds.
+	c := NewCache()
+	cfg := arch.Planaria()
+	net := dnn.MustByName("Tiny YOLO")
+
+	inner := c.compile
+	var calls atomic.Int32
+	wantErr := errors.New("transient failure")
+	c.compile = func(n *dnn.Network, cf arch.Config, f bool) (*Program, error) {
+		if calls.Add(1) == 1 {
+			return nil, wantErr
+		}
+		return inner(n, cf, f)
+	}
+	if _, err := c.Program(net, cfg, true); !errors.Is(err, wantErr) {
+		t.Fatalf("first call error = %v, want %v", err, wantErr)
+	}
+	p, err := c.Program(net, cfg, true)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if p == nil || p.MaxAlloc() != 16 {
+		t.Fatal("retry returned incomplete program")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compile ran %d times, want 2 (fail once, then retry)", calls.Load())
+	}
+}
+
+func TestCompileProgramParallelMatchesSequential(t *testing.T) {
+	// Force real worker goroutines even on narrow machines, then check the
+	// parallel per-allocation sweep lands the same tables a sequential
+	// compile produces — the fan-out must be invisible in the artifact.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	cfg := arch.Planaria()
+	net := dnn.MustByName("Tiny YOLO")
+	p, err := CompileProgram(net, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= p.MaxAlloc(); s++ {
+		want, err := Compile(net, cfg, s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Table(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("allocation %d: parallel table differs from sequential compile", s)
 		}
 	}
 }

@@ -10,12 +10,14 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/dnn"
 	"planaria/internal/energy"
 	"planaria/internal/metrics"
+	"planaria/internal/par"
 	"planaria/internal/prema"
 	"planaria/internal/sched"
 	"planaria/internal/sim"
@@ -29,31 +31,43 @@ type Suite struct {
 	PREMA    metrics.System
 	Opt      metrics.Options
 
+	mu         sync.Mutex            // guards throughput
 	throughput map[string][2]float64 // scenario|qos → {planaria, prema}
 }
 
-// NewSuite compiles all nine benchmark models for both systems. Options
-// follow the evaluation defaults: 400-request instances, 3 seeds.
+// NewSuite compiles all nine benchmark models for both systems. The
+// (model, system) compilations are independent and run across a bounded
+// worker pool; the process-wide cache deduplicates concurrent misses.
+// Options follow the evaluation defaults: 400-request instances, 3 seeds.
 func NewSuite() (*Suite, error) {
 	pl := arch.Planaria()
 	mono := arch.Monolithic()
-	progsP := make(map[string]*compiler.Program, len(dnn.Names))
-	progsM := make(map[string]*compiler.Program, len(dnn.Names))
-	for _, name := range dnn.Names {
+	type compiled struct {
+		pl, mono *compiler.Program
+	}
+	progs := make([]compiled, len(dnn.Names))
+	errs := make([]error, 2*len(dnn.Names))
+	par.ForEach(2*len(dnn.Names), func(i int) {
+		name := dnn.Names[i/2]
 		net, err := dnn.ByName(name)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		p, err := compiler.DefaultCache.Program(net, pl, true)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			progs[i/2].pl, errs[i] = compiler.DefaultCache.Program(net, pl, true)
+		} else {
+			progs[i/2].mono, errs[i] = compiler.DefaultCache.Program(net, mono, false)
 		}
-		progsP[name] = p
-		m, err := compiler.DefaultCache.Program(net, mono, false)
-		if err != nil {
-			return nil, err
-		}
-		progsM[name] = m
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	progsP := make(map[string]*compiler.Program, len(dnn.Names))
+	progsM := make(map[string]*compiler.Program, len(dnn.Names))
+	for i, name := range dnn.Names {
+		progsP[name] = progs[i].pl
+		progsM[name] = progs[i].mono
 	}
 	return &Suite{
 		Planaria: metrics.System{
@@ -70,10 +84,14 @@ func NewSuite() (*Suite, error) {
 }
 
 // throughputs returns (and caches) both systems' max sustainable QPS for
-// a scenario × QoS point.
+// a scenario × QoS point. Safe for concurrent callers; distinct points
+// compute in parallel while the cache map stays mutex-guarded.
 func (s *Suite) throughputs(sc workload.Scenario, lvl workload.QoSLevel) (plQPS, prQPS float64, err error) {
 	key := sc.Name + "|" + lvl.Name
-	if v, ok := s.throughput[key]; ok {
+	s.mu.Lock()
+	v, ok := s.throughput[key]
+	s.mu.Unlock()
+	if ok {
 		return v[0], v[1], nil
 	}
 	plQPS, err = metrics.Throughput(s.Planaria, sc, lvl, s.Opt)
@@ -84,7 +102,9 @@ func (s *Suite) throughputs(sc workload.Scenario, lvl workload.QoSLevel) (plQPS,
 	if err != nil {
 		return 0, 0, err
 	}
+	s.mu.Lock()
 	s.throughput[key] = [2]float64{plQPS, prQPS}
+	s.mu.Unlock()
 	return plQPS, prQPS, nil
 }
 
@@ -128,57 +148,78 @@ type ServingRow struct {
 }
 
 // ServingComparison runs the full Fig 12–15 sweep: throughput per system,
-// then SLA rate, fairness, and energy at the common rate.
+// then SLA rate, fairness, and energy at the common rate. The scenario ×
+// QoS points are independent simulations, so they fan out across a
+// bounded worker pool; each point writes its own row index and the slice
+// is returned in enumeration order, keeping the output identical to the
+// sequential sweep (the same pattern metrics.Evaluate uses per instance).
 func (s *Suite) ServingComparison() ([]ServingRow, error) {
-	var rows []ServingRow
+	type point struct {
+		sc  workload.Scenario
+		lvl workload.QoSLevel
+	}
+	var points []point
 	for _, sc := range workload.Scenarios() {
 		for _, lvl := range workload.Levels {
-			plQPS, prQPS, err := s.throughputs(sc, lvl)
-			if err != nil {
-				return nil, err
-			}
-			row := ServingRow{
-				Workload:    sc.Name,
-				QoS:         lvl.Name,
-				PlanariaQPS: plQPS,
-				PremaQPS:    prQPS,
-			}
-			if prQPS > 0 {
-				row.Ratio = plQPS / prQPS
-			}
-			rate := commonRate(plQPS, prQPS)
-			row.RateQPS = rate
-			// More instances at the fixed rate: the SLA satisfaction
-			// *rate* is a fraction over instances and needs resolution.
-			fixedOpt := s.Opt
-			if fixedOpt.Instances < 5 {
-				fixedOpt.Instances = 5
-			}
-			ap, err := metrics.Evaluate(s.Planaria, sc, lvl, rate, fixedOpt)
-			if err != nil {
-				return nil, err
-			}
-			am, err := metrics.Evaluate(s.PREMA, sc, lvl, rate, fixedOpt)
-			if err != nil {
-				return nil, err
-			}
-			row.PlanariaSLA = ap.SLARate
-			row.PremaSLA = am.SLARate
-			row.SLAGainPct = (ap.SLARate - am.SLARate) * 100
-			row.PlanariaFair = ap.Fairness
-			row.PremaFair = am.Fairness
-			if am.Fairness > 0 {
-				row.FairRatio = ap.Fairness / am.Fairness
-			}
-			row.PlanariaJ = ap.EnergyJ
-			row.PremaJ = am.EnergyJ
-			if ap.EnergyJ > 0 {
-				row.EnergyRatio = am.EnergyJ / ap.EnergyJ
-			}
-			rows = append(rows, row)
+			points = append(points, point{sc, lvl})
 		}
 	}
+	rows := make([]ServingRow, len(points))
+	errs := make([]error, len(points))
+	par.ForEach(len(points), func(i int) {
+		rows[i], errs[i] = s.servingPoint(points[i].sc, points[i].lvl)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
 	return rows, nil
+}
+
+// servingPoint computes one scenario × QoS row of the Fig 12–15 sweep.
+func (s *Suite) servingPoint(sc workload.Scenario, lvl workload.QoSLevel) (ServingRow, error) {
+	plQPS, prQPS, err := s.throughputs(sc, lvl)
+	if err != nil {
+		return ServingRow{}, err
+	}
+	row := ServingRow{
+		Workload:    sc.Name,
+		QoS:         lvl.Name,
+		PlanariaQPS: plQPS,
+		PremaQPS:    prQPS,
+	}
+	if prQPS > 0 {
+		row.Ratio = plQPS / prQPS
+	}
+	rate := commonRate(plQPS, prQPS)
+	row.RateQPS = rate
+	// More instances at the fixed rate: the SLA satisfaction *rate* is a
+	// fraction over instances and needs resolution.
+	fixedOpt := s.Opt
+	if fixedOpt.Instances < 5 {
+		fixedOpt.Instances = 5
+	}
+	ap, err := metrics.Evaluate(s.Planaria, sc, lvl, rate, fixedOpt)
+	if err != nil {
+		return ServingRow{}, err
+	}
+	am, err := metrics.Evaluate(s.PREMA, sc, lvl, rate, fixedOpt)
+	if err != nil {
+		return ServingRow{}, err
+	}
+	row.PlanariaSLA = ap.SLARate
+	row.PremaSLA = am.SLARate
+	row.SLAGainPct = (ap.SLARate - am.SLARate) * 100
+	row.PlanariaFair = ap.Fairness
+	row.PremaFair = am.Fairness
+	if am.Fairness > 0 {
+		row.FairRatio = ap.Fairness / am.Fairness
+	}
+	row.PlanariaJ = ap.EnergyJ
+	row.PremaJ = am.EnergyJ
+	if ap.EnergyJ > 0 {
+		row.EnergyRatio = am.EnergyJ / ap.EnergyJ
+	}
+	return row, nil
 }
 
 // FormatFig12 renders the throughput comparison (Fig 12).

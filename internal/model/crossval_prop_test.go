@@ -1,0 +1,110 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/systolic"
+)
+
+// TestRandomizedCrossValidation extends the fixed-case cross-validation
+// with ~50 random single-tile GEMMs: random subarray granularity, cluster
+// extent, placement, and dimensions. Wherever the analytical model's
+// single-tile regime applies (Tiles == 1), its cycle count must equal the
+// functional simulator's measured latency — streamed weight load included
+// — plus the per-tile dispatch constant. The simulated GEMM must also
+// match the host reference, so model and engine are pinned to each other
+// and to the arithmetic.
+func TestRandomizedCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	checked := 0
+	for i := 0; i < 50; i++ {
+		subR := []int{4, 8}[rng.Intn(2)]
+		subC := []int{4, 8}[rng.Intn(2)]
+		bandsR := rng.Intn(3) + 2 // 2..4
+		bandsC := rng.Intn(3) + 2
+		h := 1 << rng.Intn(2)
+		w := 1 << rng.Intn(2)
+		if h > bandsR {
+			h = bandsR
+		}
+		if w > bandsC {
+			w = bandsC
+		}
+		br := rng.Intn(bandsR - h + 1)
+		bc := rng.Intn(bandsC - w + 1)
+		// K and N must reach into every band of the cluster: the model
+		// charges chaining latency for the shape's full extent, and the
+		// simulator only matches when the wavefront really crosses all
+		// (H−1)+(W−1) boundaries — the regime the fixed crossval cases
+		// pin down.
+		m := rng.Intn(24) + 2
+		k := (h-1)*subR + rng.Intn(subR) + 1
+		n := (w-1)*subC + rng.Intn(subC) + 1
+
+		cfg := arch.Planaria()
+		cfg.SubRows, cfg.SubCols = subR, subC
+		cfg.ArrayRows, cfg.ArrayCols = bandsR*subR, bandsC*subC
+
+		sh := arch.Shape{Clusters: 1, H: h, W: w}
+		res := GEMMOnShape(m, k, n, 1, 1, sh, cfg, cfg.NumSubarrays())
+		if res.Tiles != 1 {
+			// Outside the single-tile regime the simulator would need
+			// multi-tile sequencing; the crossval harness doesn't cover it.
+			continue
+		}
+
+		g, err := systolic.New(subR, subC, bandsR, bandsC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wts := make([][]int8, k)
+		for r := range wts {
+			wts[r] = make([]int8, n)
+			for c := range wts[r] {
+				wts[r][c] = int8(rng.Intn(256) - 128)
+			}
+		}
+		a := make([][]int8, m)
+		for r := range a {
+			a[r] = make([]int8, k)
+			for c := range a[r] {
+				a[r][c] = int8(rng.Intn(256) - 128)
+			}
+		}
+		spec := systolic.ClusterSpec{BandRow: br, BandCol: bc, H: h, W: w}
+		id, err := g.AddClusterStreamLoad(spec, wts, a)
+		if err != nil {
+			t.Fatalf("case %d (%+v m=%d k=%d n=%d): %v", i, spec, m, k, n, err)
+		}
+		if _, err := g.Run(int64(10 * (m + k + n + 64))); err != nil {
+			t.Fatalf("case %d (%+v m=%d k=%d n=%d): %v", i, spec, m, k, n, err)
+		}
+		out, err := g.Output(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := systolic.Reference(a, wts)
+		for r := range want {
+			for c := range want[r] {
+				if out[r][c] != want[r][c] {
+					t.Fatalf("case %d: GEMM mismatch at (%d,%d)", i, r, c)
+				}
+			}
+		}
+		drain, err := g.DrainCycle(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		functional := drain + 1
+		if got, wantCy := res.Cycles, functional+tileOverheadCycles; got != wantCy {
+			t.Errorf("case %d (sub %dx%d, %+v, m=%d k=%d n=%d): model %d cycles, functional-with-load %d (+%d overhead = %d)",
+				i, subR, subC, spec, m, k, n, got, functional, tileOverheadCycles, wantCy)
+		}
+		checked++
+	}
+	if checked < 25 {
+		t.Fatalf("only %d/50 random cases landed in the single-tile regime; generator drifted", checked)
+	}
+}

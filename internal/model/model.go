@@ -19,6 +19,7 @@ import (
 	"planaria/internal/arch"
 	"planaria/internal/dnn"
 	"planaria/internal/energy"
+	"planaria/internal/par"
 )
 
 // Result describes a layer (or whole network) executed on a given shape.
@@ -124,9 +125,9 @@ func gemmOnCluster(m, k, n, r, c int, actShare int64) (cycles, tiles int64, relo
 	tiles = int64(kt) * int64(nt) * int64(mChunks)
 	fullChunks := m / mt
 	restRows := m - fullChunks*mt
-	perPass := int64(fullChunks) * maxI64(int64(mt+fill+tileOverheadCycles), int64(ktEff))
+	perPass := int64(fullChunks) * max(int64(mt+fill+tileOverheadCycles), int64(ktEff))
 	if restRows > 0 {
-		perPass += maxI64(int64(restRows+fill+tileOverheadCycles), int64(ktEff))
+		perPass += max(int64(restRows+fill+tileOverheadCycles), int64(ktEff))
 	}
 	cycles = int64(kt)*int64(nt)*perPass + int64(ktEff-1)
 
@@ -344,8 +345,16 @@ func BestShape(l *dnn.Layer, cfg arch.Config, s int) Result {
 	return BestShapeWith(l, cfg, s, nil)
 }
 
+// parallelShapeThreshold is the candidate count below which the shape
+// search stays sequential: each LayerOnShape is a few hundred nanoseconds
+// of pure arithmetic, so small searches don't amortize worker startup.
+const parallelShapeThreshold = 24
+
 // BestShapeWith is BestShape restricted to shapes accepted by the filter.
 // If the filter rejects everything, the single-subarray shape is used.
+// Large searches evaluate candidates across a bounded worker pool; the
+// winner is reduced in shape-enumeration order with the same comparator a
+// sequential scan uses, so the chosen shape is identical either way.
 func BestShapeWith(l *dnn.Layer, cfg arch.Config, s int, filter ShapeFilter) Result {
 	if !l.Kind.IsGEMM() {
 		return VectorOnAlloc(l, cfg, s)
@@ -354,22 +363,42 @@ func BestShapeWith(l *dnn.Layer, cfg arch.Config, s int, filter ShapeFilter) Res
 	if len(shapes) == 0 {
 		shapes = []arch.Shape{arch.MonolithicShape(cfg)}
 	}
-	p := energy.Default()
-	var best Result
-	first := true
-	for _, sh := range shapes {
-		if filter != nil && !filter(sh) {
-			continue
-		}
-		r := LayerOnShape(l, sh, cfg, s)
-		if first || r.Cycles < best.Cycles ||
-			(r.Cycles == best.Cycles && r.Acct.Joules(p) < best.Acct.Joules(p)) {
-			best = r
-			first = false
+	cands := shapes
+	if filter != nil {
+		cands = make([]arch.Shape, 0, len(shapes))
+		for _, sh := range shapes {
+			if filter(sh) {
+				cands = append(cands, sh)
+			}
 		}
 	}
-	if first {
+	if len(cands) == 0 {
 		return LayerOnShape(l, arch.Shape{Clusters: 1, H: 1, W: 1}, cfg, s)
+	}
+
+	p := energy.Default()
+	better := func(r, best Result) bool {
+		return r.Cycles < best.Cycles ||
+			(r.Cycles == best.Cycles && r.Acct.Joules(p) < best.Acct.Joules(p))
+	}
+	if len(cands) < parallelShapeThreshold {
+		best := LayerOnShape(l, cands[0], cfg, s)
+		for _, sh := range cands[1:] {
+			if r := LayerOnShape(l, sh, cfg, s); better(r, best) {
+				best = r
+			}
+		}
+		return best
+	}
+	results := make([]Result, len(cands))
+	par.ForEach(len(cands), func(i int) {
+		results[i] = LayerOnShape(l, cands[i], cfg, s)
+	})
+	best := results[0]
+	for _, r := range results[1:] {
+		if better(r, best) {
+			best = r
+		}
 	}
 	return best
 }
@@ -409,25 +438,4 @@ func NetworkOnAllocWith(n *dnn.Network, cfg arch.Config, s int, fissionable bool
 		return Result{}, fmt.Errorf("model: network %s produced no tiles", n.Name)
 	}
 	return total, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

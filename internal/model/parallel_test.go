@@ -1,0 +1,59 @@
+package model
+
+import (
+	"runtime"
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/dnn"
+	"planaria/internal/energy"
+)
+
+// sequentialBestShape is the reference implementation of the shape
+// search: a plain in-order scan with the first-wins comparator. The
+// parallel search must pick the identical shape and cycle count.
+func sequentialBestShape(l *dnn.Layer, cfg arch.Config, s int) Result {
+	shapes := arch.EnumerateShapes(cfg, s)
+	if len(shapes) == 0 {
+		shapes = []arch.Shape{arch.MonolithicShape(cfg)}
+	}
+	p := energy.Default()
+	best := LayerOnShape(l, shapes[0], cfg, s)
+	for _, sh := range shapes[1:] {
+		r := LayerOnShape(l, sh, cfg, s)
+		if r.Cycles < best.Cycles ||
+			(r.Cycles == best.Cycles && r.Acct.Joules(p) < best.Acct.Joules(p)) {
+			best = r
+		}
+	}
+	return best
+}
+
+// TestBestShapeParallelMatchesSequential raises GOMAXPROCS past the
+// physical CPU count so the worker pool really spawns, then checks the
+// parallel search is bit-identical to the sequential scan — including
+// tie-breaks, which depend on enumeration order — across every GEMM
+// layer of two structurally different networks and several allocations.
+func TestBestShapeParallelMatchesSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	cfg := arch.Planaria()
+	for _, name := range []string{"MobileNet-v1", "GNMT"} {
+		net := dnn.MustByName(name)
+		for _, s := range []int{4, 9, 16} {
+			for i := range net.Layers {
+				l := &net.Layers[i]
+				if !l.Kind.IsGEMM() {
+					continue
+				}
+				got := BestShape(l, cfg, s)
+				want := sequentialBestShape(l, cfg, s)
+				if got.Shape != want.Shape || got.Cycles != want.Cycles ||
+					got.Tiles != want.Tiles || got.SplitM != want.SplitM {
+					t.Fatalf("%s layer %d s=%d: parallel %+v (%d cyc) != sequential %+v (%d cyc)",
+						name, i, s, got.Shape, got.Cycles, want.Shape, want.Cycles)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package par provides the bounded worker-pool primitive used by the
+// compute-bound sweeps (shape search, program compilation, the serving
+// comparison). The pattern is always the same: fan the work out across a
+// bounded pool, write each result into its input's index, and aggregate
+// sequentially in index order afterwards — parallel compute, deterministic
+// output.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), spread across at most
+// min(n, GOMAXPROCS) workers. Indices are handed out through a shared
+// atomic counter, so uneven per-item costs balance automatically. fn must
+// confine its writes to per-index state (e.g. results[i]); ForEach returns
+// once every call has completed.
+func ForEach(n int, fn func(i int)) {
+	ForEachN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachN is ForEach with an explicit worker bound. A bound ≤ 1 (or a
+// single item) runs inline with no goroutines.
+func ForEachN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the first non-nil error in index order, preserving
+// the error a sequential loop would have surfaced.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachNSequentialFallback(t *testing.T) {
+	// workers ≤ 1 must run inline, in order.
+	var order []int
+	ForEachN(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachNCoversEveryIndexOnceConcurrently(t *testing.T) {
+	// Explicit worker counts (beyond GOMAXPROCS, so real goroutines spawn
+	// even on single-CPU machines) must still visit each index once.
+	for _, workers := range []int{2, 4, 16} {
+		n := 257
+		hits := make([]atomic.Int32, n)
+		ForEachN(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachUnevenWork(t *testing.T) {
+	// Uneven per-item cost must still visit all indices exactly once.
+	n := 64
+	var total atomic.Int64
+	ForEachN(n, 8, func(i int) {
+		s := 0
+		for j := 0; j < (i%7)*1000; j++ {
+			s += j
+		}
+		_ = s
+		total.Add(int64(i))
+	})
+	if want := int64(n * (n - 1) / 2); total.Load() != want {
+		t.Fatalf("sum of indices = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if err := FirstError([]error{nil, e1, e2}); err != e1 {
+		t.Fatalf("got %v, want first error %v", err, e1)
+	}
+}

@@ -1,0 +1,116 @@
+package systolic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchCase is one BenchmarkGridRun configuration. Grid construction and
+// matrix generation are part of the measured loop because a Grid is
+// single-shot (Run consumes it), but the engine's cycle loop dominates:
+// the simulated cycle count scales with M+K+N while setup scales with
+// the matrix footprints.
+type benchCase struct {
+	name          string
+	subR, subC    int
+	bandsR, bands int
+	h, w          int
+	m, k, n       int
+	streamLoad    bool
+}
+
+func benchCases() []benchCase {
+	return []benchCase{
+		{name: "small_16x8x8", subR: 8, subC: 8, bandsR: 1, bands: 1, h: 1, w: 1, m: 16, k: 8, n: 8},
+		{name: "medium_128x16x16", subR: 8, subC: 8, bandsR: 2, bands: 2, h: 2, w: 2, m: 128, k: 16, n: 16},
+		{name: "large_512x32x32", subR: 16, subC: 16, bandsR: 2, bands: 2, h: 2, w: 2, m: 512, k: 32, n: 32},
+		{name: "stream_load_128x16x16", subR: 8, subC: 8, bandsR: 2, bands: 2, h: 2, w: 2, m: 128, k: 16, n: 16, streamLoad: true},
+	}
+}
+
+func buildGrid(b *testing.B, rng *rand.Rand, c benchCase) (*Grid, int64) {
+	g, err := New(c.subR, c.subC, c.bandsR, c.bands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wts := randMat(rng, c.k, c.n)
+	a := randMat(rng, c.m, c.k)
+	spec := ClusterSpec{0, 0, c.h, c.w}
+	if c.streamLoad {
+		_, err = g.AddClusterStreamLoad(spec, wts, a)
+	} else {
+		_, err = g.AddCluster(spec, wts, a)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, int64(10 * (c.m + c.k + c.n + 100))
+}
+
+// BenchmarkGridRun measures the functional engine's hot loop across GEMM
+// sizes; allocs/op is the headline number the flat-state engine targets.
+func BenchmarkGridRun(b *testing.B) {
+	for _, c := range benchCases() {
+		b.Run(c.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			b.ReportAllocs()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				g, maxCycles := buildGrid(b, rng, c)
+				cy, err := g.Run(maxCycles)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = cy
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkGridRunMultiCluster measures spatial co-location: four
+// independent clusters sharing one grid, the multi-tenant case the
+// architecture exists for.
+func BenchmarkGridRunMultiCluster(b *testing.B) {
+	dims := [][3]int{{64, 8, 8}, {48, 7, 6}, {96, 5, 8}, {32, 8, 4}}
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < b.N; i++ {
+		g, err := New(8, 8, 2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		di := 0
+		for br := 0; br < 2; br++ {
+			for bc := 0; bc < 2; bc++ {
+				d := dims[di]
+				di++
+				wts := randMat(rng, d[1], d[2])
+				a := randMat(rng, d[0], d[1])
+				if _, err := g.AddCluster(ClusterSpec{br, bc, 1, 1}, wts, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := g.Run(1 << 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReference is the host-side GEMM the simulator validates
+// against, for scale.
+func BenchmarkReference(b *testing.B) {
+	for _, d := range [][3]int{{128, 16, 16}, {512, 32, 32}} {
+		b.Run(fmt.Sprintf("%dx%dx%d", d[0], d[1], d[2]), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(17))
+			a := randMat(rng, d[0], d[1])
+			w := randMat(rng, d[1], d[2])
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Reference(a, w)
+			}
+		})
+	}
+}

@@ -13,6 +13,14 @@
 // ChipState.StageShape and the serpentine tests). Here the physically
 // routed cluster appears as a straight logical array with pipeline
 // boundary registers between subarrays.
+//
+// Engine internals: token timing uses a calendar queue — a ring of
+// per-cycle buckets whose backing slices are reused once the ring wraps —
+// and per-PE state uses dense arrays indexed by (row, col) per cluster,
+// so the steady-state cycle loop performs no map operations and
+// amortizes to zero allocations. Every in-flight delay is bounded by
+// 1 + BoundaryDelay, so a ring sized past the latest pre-Run injection
+// can never alias two distinct pending cycles to one bucket.
 package systolic
 
 import (
@@ -42,26 +50,42 @@ const (
 )
 
 // delivery is one token arriving at a PE (or collector) at a given cycle.
+// Fields are 32-bit to halve the calendar queue's memory traffic; every
+// grid coordinate and activation-row index fits comfortably.
 type delivery struct {
 	cycle   int64
-	cluster int
-	kind    tokenKind
-	row     int // cluster-local row; row == K means the output collector
-	col     int // cluster-local col
-	m       int // activation-row index the token belongs to
 	v       int32
+	cluster int32
+	row     int32 // cluster-local row; row == K means the output collector
+	col     int32 // cluster-local col
+	m       int32 // activation-row index the token belongs to
+	kind    tokenKind
+}
+
+// peCell is the dense per-PE pairing state for one cycle: the activation
+// and partial-sum tokens currently present. An m index of −1 means empty.
+type peCell struct {
+	actV  int32
+	actM  int32
+	psumV int32
+	psumM int32
 }
 
 type cluster struct {
 	spec    ClusterSpec
 	m, k, n int
-	w       [][]int8 // k×n weights
-	// loaded[r][c] marks the weight as present in the PE. When the
-	// cluster uses streamed loading, weights arrive as tokens shifting
-	// down the columns (bottom row first, so every row lands at cycle
-	// K−1 plus its band-boundary delays); with preloading every entry
-	// starts true.
-	loaded  [][]bool
+	// w holds the k×n weights row-major; loaded marks each weight as
+	// present in its PE. When the cluster uses streamed loading, weights
+	// arrive as tokens shifting down the columns (bottom row first, so
+	// every row lands at cycle K−1 plus its band-boundary delays); with
+	// preloading every entry starts true.
+	w      []int8
+	loaded []bool
+	// cells is the k×n dense pairing state; touched lists the cell
+	// indices that received a token this cycle (reset each cycle, backing
+	// array reused).
+	cells   []peCell
+	touched []int32
 	out     [][]int32
 	outSeen [][]bool
 	pending int
@@ -74,9 +98,21 @@ type Grid struct {
 	bandsR, bandsC int
 	owner          [][]int // band ownership, -1 = free
 	clusters       []*cluster
-	queue          map[int64][]delivery
-	cycle          int64
-	ran            bool
+	// staged holds pre-Run injections (activations and streamed weights);
+	// Run counting-sorts them into the read-only initial schedule.
+	staged   []delivery
+	maxStage int64
+	// initial[c] is the slice of pre-Run injections arriving at cycle c,
+	// views into one contiguous arena. In-flight tokens generated during
+	// simulation live in the small calendar ring instead: every runtime
+	// delay is ≤ 1+BoundaryDelay, so a handful of buckets (reused as the
+	// ring wraps) covers all of them and their backing slices stabilize
+	// after the first few cycles.
+	initial [][]delivery
+	buckets [][]delivery // calendar ring: cycle c lives at buckets[c&mask]
+	mask    int64
+	cycle   int64
+	ran     bool
 }
 
 // New creates a grid of bandsR×bandsC subarrays, each subR×subC PEs.
@@ -95,7 +131,6 @@ func New(subR, subC, bandsR, bandsC int) (*Grid, error) {
 		subR: subR, subC: subC,
 		bandsR: bandsR, bandsC: bandsC,
 		owner: owner,
-		queue: make(map[int64][]delivery),
 	}, nil
 }
 
@@ -160,19 +195,28 @@ func (g *Grid) addCluster(spec ClusterSpec, wts [][]int8, a [][]int8, streamLoad
 	}
 
 	id := len(g.clusters)
-	cl := &cluster{spec: spec, m: m, k: k, n: n, w: wts, pending: m * n}
+	cl := &cluster{spec: spec, m: m, k: k, n: n, pending: m * n}
+	cl.w = make([]int8, k*n)
+	cl.loaded = make([]bool, k*n)
+	cl.cells = make([]peCell, k*n)
+	cl.touched = make([]int32, 0, k*n)
+	for i := range wts {
+		copy(cl.w[i*n:(i+1)*n], wts[i])
+	}
+	if !streamLoad {
+		for i := range cl.loaded {
+			cl.loaded[i] = true
+		}
+	}
+	for i := range cl.cells {
+		cl.cells[i].actM = -1
+		cl.cells[i].psumM = -1
+	}
 	cl.out = make([][]int32, m)
 	cl.outSeen = make([][]bool, m)
 	for i := range cl.out {
 		cl.out[i] = make([]int32, n)
 		cl.outSeen[i] = make([]bool, n)
-	}
-	cl.loaded = make([][]bool, k)
-	for i := range cl.loaded {
-		cl.loaded[i] = make([]bool, n)
-		for j := range cl.loaded[i] {
-			cl.loaded[i][j] = !streamLoad
-		}
 	}
 	g.clusters = append(g.clusters, cl)
 	for r := spec.BandRow; r < spec.BandRow+spec.H; r++ {
@@ -189,9 +233,9 @@ func (g *Grid) addCluster(spec ClusterSpec, wts [][]int8, a [][]int8, streamLoad
 		for ki := k - 1; ki >= 0; ki-- {
 			issue := int64(k - 1 - ki)
 			for ni := 0; ni < n; ni++ {
-				g.push(delivery{
-					cycle: issue, cluster: id, kind: weightToken,
-					row: 0, col: ni, m: ki, v: int32(wts[ki][ni]),
+				g.stage(delivery{
+					cycle: issue, cluster: int32(id), kind: weightToken,
+					row: 0, col: int32(ni), m: int32(ki), v: int32(wts[ki][ni]),
 				})
 			}
 		}
@@ -205,17 +249,62 @@ func (g *Grid) addCluster(spec ClusterSpec, wts [][]int8, a [][]int8, streamLoad
 	for mi := 0; mi < m; mi++ {
 		for ki := 0; ki < k; ki++ {
 			t := int64(actBase + mi + ki + BoundaryDelay*(ki/g.subR))
-			g.push(delivery{
-				cycle: t, cluster: id, kind: actToken,
-				row: ki, col: 0, m: mi, v: int32(a[mi][ki]),
+			g.stage(delivery{
+				cycle: t, cluster: int32(id), kind: actToken,
+				row: int32(ki), col: 0, m: int32(mi), v: int32(a[mi][ki]),
 			})
 		}
 	}
 	return id, nil
 }
 
+// stage queues a pre-Run injection; Run distributes staged deliveries
+// into the calendar ring once its size is known.
+func (g *Grid) stage(d delivery) {
+	g.staged = append(g.staged, d)
+	if d.cycle > g.maxStage {
+		g.maxStage = d.cycle
+	}
+}
+
+// push inserts an in-flight token during simulation. All runtime delays
+// are ≤ 1+BoundaryDelay, well inside the ring.
 func (g *Grid) push(d delivery) {
-	g.queue[d.cycle] = append(g.queue[d.cycle], d)
+	b := d.cycle & g.mask
+	g.buckets[b] = append(g.buckets[b], d)
+}
+
+// initCalendar counting-sorts the staged injections into one contiguous
+// arena indexed by cycle (O(1) allocations regardless of how long the
+// injection schedule is) and sizes the in-flight ring past the maximum
+// runtime delay so two pending cycles can never alias to one bucket.
+func (g *Grid) initCalendar() {
+	size := int64(8)
+	for size < BoundaryDelay+2 {
+		size <<= 1
+	}
+	g.mask = size - 1
+	g.buckets = make([][]delivery, size)
+
+	cycles := g.maxStage + 1
+	g.initial = make([][]delivery, cycles)
+	counts := make([]int32, cycles)
+	for i := range g.staged {
+		counts[g.staged[i].cycle]++
+	}
+	arena := make([]delivery, len(g.staged))
+	off := 0
+	for c := int64(0); c < cycles; c++ {
+		n := int(counts[c])
+		if n > 0 {
+			g.initial[c] = arena[off : off : off+n]
+			off += n
+		}
+	}
+	for _, d := range g.staged {
+		g.initial[d.cycle] = append(g.initial[d.cycle], d)
+	}
+	g.staged = nil
 }
 
 // Run simulates until every cluster has drained all outputs or maxCycles
@@ -232,132 +321,161 @@ func (g *Grid) Run(maxCycles int64) (int64, error) {
 	for _, cl := range g.clusters {
 		remaining += cl.pending
 	}
+	g.initCalendar()
 
-	// acts[cluster] holds the activation token present at each PE this
-	// cycle; psums likewise. Maps keyed by (row, col) stay small because
-	// a wavefront touches each PE once per cycle.
 	for g.cycle = 0; g.cycle <= maxCycles && remaining > 0; g.cycle++ {
-		ds := g.queue[g.cycle]
-		if len(ds) == 0 {
+		slot := g.cycle & g.mask
+		var init []delivery
+		if g.cycle < int64(len(g.initial)) {
+			init = g.initial[g.cycle]
+		}
+		inflight := g.buckets[slot]
+		if len(init)+len(inflight) == 0 {
 			continue
 		}
-		delete(g.queue, g.cycle)
+		// Injections were queued before any runtime token, so they are
+		// processed first within the cycle, matching the original
+		// single-queue ordering.
+		both := [2][]delivery{init, inflight}
 
 		// Weight tokens first: a weight reaching its destination row is
 		// captured into the PE the same cycle an aligned activation may
 		// use it; otherwise it shifts down one row (plus the boundary
 		// register when crossing bands).
-		for _, d := range ds {
-			if d.kind != weightToken {
-				continue
-			}
-			cl := g.clusters[d.cluster]
-			if d.row == d.m {
-				cl.loaded[d.row][d.col] = true
-				continue
-			}
-			if d.row > d.m || d.row+1 > cl.k {
-				return g.cycle, fmt.Errorf("systolic: weight token overshot row %d (dest %d)", d.row, d.m)
-			}
-			delay := int64(1)
-			if (d.row+1)%g.subR == 0 && d.row+1 < cl.k {
-				delay += BoundaryDelay
-			}
-			nd := d
-			nd.cycle = g.cycle + delay
-			nd.row = d.row + 1
-			g.push(nd)
-		}
-
-		// Pair act and psum tokens arriving at the same PE this cycle.
-		type key struct{ cl, row, col int }
-		acts := make(map[key]delivery)
-		psums := make(map[key]delivery)
-		for _, d := range ds {
-			if d.kind == weightToken {
-				continue
-			}
-			cl := g.clusters[d.cluster]
-			if d.kind == psumToken && d.row == cl.k {
-				// Output collector at the cluster's drain edge.
-				if d.m < 0 || d.m >= cl.m || d.col < 0 || d.col >= cl.n {
-					return g.cycle, fmt.Errorf("systolic: stray output token m=%d col=%d cluster=%d", d.m, d.col, d.cluster)
+		for _, ds := range both {
+			for _, d := range ds {
+				if d.kind != weightToken {
+					continue
 				}
-				if cl.outSeen[d.m][d.col] {
-					return g.cycle, fmt.Errorf("systolic: duplicate output (%d,%d) cluster=%d", d.m, d.col, d.cluster)
+				cl := g.clusters[d.cluster]
+				if d.row == d.m {
+					cl.loaded[int(d.row)*cl.n+int(d.col)] = true
+					continue
 				}
-				cl.outSeen[d.m][d.col] = true
-				cl.out[d.m][d.col] = d.v
-				cl.pending--
-				cl.lastOut = g.cycle
-				remaining--
-				continue
-			}
-			k := key{d.cluster, d.row, d.col}
-			switch d.kind {
-			case actToken:
-				if prev, dup := acts[k]; dup {
-					return g.cycle, fmt.Errorf("systolic: act collision at %+v (m=%d,m=%d)", k, prev.m, d.m)
+				if d.row > d.m || int(d.row)+1 > cl.k {
+					return g.cycle, fmt.Errorf("systolic: weight token overshot row %d (dest %d)", d.row, d.m)
 				}
-				acts[k] = d
-			case psumToken:
-				if prev, dup := psums[k]; dup {
-					return g.cycle, fmt.Errorf("systolic: psum collision at %+v (m=%d,m=%d)", k, prev.m, d.m)
+				delay := int64(1)
+				if (int(d.row)+1)%g.subR == 0 && int(d.row)+1 < cl.k {
+					delay += BoundaryDelay
 				}
-				psums[k] = d
+				nd := d
+				nd.cycle = g.cycle + delay
+				nd.row = d.row + 1
+				g.push(nd)
 			}
 		}
 
-		// Each PE holding an activation computes and forwards.
-		for k, ad := range acts {
-			cl := g.clusters[k.cl]
-			var p int32
-			if k.row > 0 {
-				pd, ok := psums[k]
-				if !ok {
-					return g.cycle, fmt.Errorf("systolic: act token (cluster %d, PE %d,%d, m=%d) missing partial sum", k.cl, k.row, k.col, ad.m)
+		// Deposit act and psum tokens into each cluster's dense per-PE
+		// state; psums reaching row K land in the output collector.
+		for _, ds := range both {
+			for _, d := range ds {
+				if d.kind == weightToken {
+					continue
 				}
-				if pd.m != ad.m {
-					return g.cycle, fmt.Errorf("systolic: wavefront misalignment at PE (%d,%d): act m=%d psum m=%d", k.row, k.col, ad.m, pd.m)
+				cl := g.clusters[d.cluster]
+				if d.kind == psumToken && int(d.row) == cl.k {
+					// Output collector at the cluster's drain edge.
+					if d.m < 0 || int(d.m) >= cl.m || d.col < 0 || int(d.col) >= cl.n {
+						return g.cycle, fmt.Errorf("systolic: stray output token m=%d col=%d cluster=%d", d.m, d.col, d.cluster)
+					}
+					if cl.outSeen[d.m][d.col] {
+						return g.cycle, fmt.Errorf("systolic: duplicate output (%d,%d) cluster=%d", d.m, d.col, d.cluster)
+					}
+					cl.outSeen[d.m][d.col] = true
+					cl.out[d.m][d.col] = d.v
+					cl.pending--
+					cl.lastOut = g.cycle
+					remaining--
+					continue
 				}
-				p = pd.v
-				delete(psums, k)
+				idx := int(d.row)*cl.n + int(d.col)
+				cell := &cl.cells[idx]
+				if cell.actM < 0 && cell.psumM < 0 {
+					cl.touched = append(cl.touched, int32(idx))
+				}
+				switch d.kind {
+				case actToken:
+					if cell.actM >= 0 {
+						return g.cycle, fmt.Errorf("systolic: act collision at cluster %d PE (%d,%d) (m=%d,m=%d)",
+							d.cluster, d.row, d.col, cell.actM, d.m)
+					}
+					cell.actM, cell.actV = d.m, d.v
+				case psumToken:
+					if cell.psumM >= 0 {
+						return g.cycle, fmt.Errorf("systolic: psum collision at cluster %d PE (%d,%d) (m=%d,m=%d)",
+							d.cluster, d.row, d.col, cell.psumM, d.m)
+					}
+					cell.psumM, cell.psumV = d.m, d.v
+				}
 			}
-			if !cl.loaded[k.row][k.col] {
-				return g.cycle, fmt.Errorf("systolic: PE (%d,%d) computed before its weight loaded (cluster %d, m=%d)",
-					k.row, k.col, k.cl, ad.m)
-			}
-			p += int32(int8(ad.v)) * int32(cl.w[k.row][k.col])
+		}
+		g.buckets[slot] = inflight[:0]
+		if init != nil {
+			g.initial[g.cycle] = nil
+		}
 
-			// Forward the partial sum down, paying the boundary register
-			// when leaving a subarray band (or into the collector).
-			pDelay := int64(1)
-			if (k.row+1)%g.subR == 0 && k.row+1 < cl.k {
-				pDelay += BoundaryDelay
+		// Each PE holding an activation computes and forwards; a psum
+		// with no matching activation below row 0 is a timing bug.
+		for ci, cl := range g.clusters {
+			if len(cl.touched) == 0 {
+				continue
 			}
-			g.push(delivery{
-				cycle: g.cycle + pDelay, cluster: k.cl, kind: psumToken,
-				row: k.row + 1, col: k.col, m: ad.m, v: p,
-			})
+			for _, idx := range cl.touched {
+				cell := &cl.cells[idx]
+				row := int(idx) / cl.n
+				col := int(idx) % cl.n
+				if cell.actM < 0 {
+					if row > 0 {
+						return g.cycle, fmt.Errorf("systolic: orphan psum at PE (%d,%d) m=%d cluster=%d", row, col, cell.psumM, ci)
+					}
+					cell.psumM = -1
+					continue
+				}
+				var p int32
+				if row > 0 {
+					if cell.psumM < 0 {
+						return g.cycle, fmt.Errorf("systolic: act token (cluster %d, PE %d,%d, m=%d) missing partial sum", ci, row, col, cell.actM)
+					}
+					if cell.psumM != cell.actM {
+						return g.cycle, fmt.Errorf("systolic: wavefront misalignment at PE (%d,%d): act m=%d psum m=%d", row, col, cell.actM, cell.psumM)
+					}
+					p = cell.psumV
+				}
+				if !cl.loaded[idx] {
+					return g.cycle, fmt.Errorf("systolic: PE (%d,%d) computed before its weight loaded (cluster %d, m=%d)",
+						row, col, ci, cell.actM)
+				}
+				p += int32(int8(cell.actV)) * int32(cl.w[idx])
+				mIdx, actV := cell.actM, cell.actV
+				cell.actM, cell.psumM = -1, -1
 
-			// Forward the activation along the row while more weight
-			// columns remain.
-			if k.col+1 < cl.n {
-				aDelay := int64(1)
-				if (k.col+1)%g.subC == 0 {
-					aDelay += BoundaryDelay
+				// Forward the partial sum down, paying the boundary
+				// register when leaving a subarray band (or into the
+				// collector).
+				pDelay := int64(1)
+				if (row+1)%g.subR == 0 && row+1 < cl.k {
+					pDelay += BoundaryDelay
 				}
 				g.push(delivery{
-					cycle: g.cycle + aDelay, cluster: k.cl, kind: actToken,
-					row: k.row, col: k.col + 1, m: ad.m, v: ad.v,
+					cycle: g.cycle + pDelay, cluster: int32(ci), kind: psumToken,
+					row: int32(row + 1), col: int32(col), m: mIdx, v: p,
 				})
+
+				// Forward the activation along the row while more weight
+				// columns remain.
+				if col+1 < cl.n {
+					aDelay := int64(1)
+					if (col+1)%g.subC == 0 {
+						aDelay += BoundaryDelay
+					}
+					g.push(delivery{
+						cycle: g.cycle + aDelay, cluster: int32(ci), kind: actToken,
+						row: int32(row), col: int32(col + 1), m: mIdx, v: actV,
+					})
+				}
 			}
-		}
-		// Any psum token left unpaired below row 0 is a timing bug.
-		for k, pd := range psums {
-			if k.row > 0 {
-				return g.cycle, fmt.Errorf("systolic: orphan psum at PE (%d,%d) m=%d cluster=%d", k.row, k.col, pd.m, k.cl)
-			}
+			cl.touched = cl.touched[:0]
 		}
 	}
 	if remaining > 0 {
