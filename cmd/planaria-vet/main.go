@@ -1,0 +1,93 @@
+// Command planaria-vet runs the repository's determinism analyzers
+// (internal/analysis) over the named package patterns and reports every
+// violation of the determinism contract (DESIGN.md §8). It exits
+// non-zero when any finding remains, so CI can gate merges on a clean
+// tree:
+//
+//	go run ./cmd/planaria-vet ./...
+//
+// Patterns follow the go tool: a directory, or a directory followed by
+// /... to walk its subtree. With no arguments, ./... is assumed.
+// Non-test files of each package are analyzed; testdata trees are
+// skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"planaria/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: planaria-vet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := vet(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planaria-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "planaria-vet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func vet(patterns []string) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return 0, err
+	}
+	dirs, err := analysis.PackageDirs(cwd, patterns)
+	if err != nil {
+		return 0, err
+	}
+	if len(dirs) == 0 {
+		return 0, fmt.Errorf("no packages match %v", patterns)
+	}
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return 0, err
+		}
+		for _, a := range analysis.All() {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				return 0, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				rel, rerr := filepath.Rel(cwd, pos.Filename)
+				if rerr != nil {
+					rel = pos.Filename
+				}
+				fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+				findings++
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,216 @@
+// Package analysis implements planaria-vet, a suite of static analyzers
+// that machine-check the repository's determinism contract (DESIGN.md §8):
+// the cycle-level simulator, the spatial scheduler, and the PREMA baseline
+// must produce bit-identical metrics run-to-run, or the paper's
+// spatial-vs-temporal comparison is noise.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is self-contained on the standard
+// library: packages are parsed with go/parser and type-checked with
+// go/types, resolving module-local imports from the repository tree and
+// everything else through the stdlib source importer. This keeps the
+// toolchain dependency-free — the suite builds and runs offline.
+//
+// Analyzers:
+//
+//	maporder   — flags `for range` over a map in the deterministic
+//	             packages unless the loop only collects keys for sorting
+//	             or carries a //det:mapiter-ok <reason> annotation.
+//	noclock    — forbids time.Now, global math/rand functions, and
+//	             wall-clock-seeded sources in the deterministic packages.
+//	parorder   — checks internal/par call sites: closures must confine
+//	             writes to their index-addressed aggregation slot and must
+//	             not capture enclosing loop variables.
+//	floataccum — flags float accumulation whose iteration order comes
+//	             from a map range (run-to-run drift in energy/latency
+//	             totals).
+//
+// Annotation syntax: a loop or statement is exempted by a line comment
+// `//det:<marker>-ok <reason>` on the same line or the line directly
+// above; the reason is mandatory. Markers: mapiter, clock, parorder,
+// floataccum.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and annotations.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the analyzers in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, NoClock, ParOrder, FloatAccum}
+}
+
+// Run applies one analyzer to a loaded package and returns its findings
+// sorted by source position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// DeterministicPackages names the packages bound by the determinism
+// contract: their outputs feed cycle counts, SLA rates, and fairness
+// numbers that must be bit-identical run-to-run. Matching is by package
+// name so the analyzers work unchanged on testdata fixtures.
+var DeterministicPackages = map[string]bool{
+	"sim":         true,
+	"sched":       true,
+	"prema":       true,
+	"systolic":    true,
+	"model":       true,
+	"compiler":    true,
+	"experiments": true,
+}
+
+// annotations maps source lines to //det:<marker>-ok annotation reasons
+// for one file and marker.
+type annotations struct {
+	// reason by line; present-but-empty means the annotation is missing
+	// its mandatory reason.
+	byLine map[int]string
+}
+
+// annotationsFor collects `//det:<marker>-ok <reason>` line comments.
+func annotationsFor(fset *token.FileSet, file *ast.File, marker string) annotations {
+	prefix := "//det:" + marker + "-ok"
+	ann := annotations{byLine: map[int]string{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := c.Text[len(prefix):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //det:mapiter-okay — not this marker
+			}
+			ann.byLine[fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+		}
+	}
+	return ann
+}
+
+// at reports whether a node starting on `line` is annotated (same line or
+// the line directly above) and returns the reason.
+func (a annotations) at(line int) (reason string, ok bool) {
+	if r, found := a.byLine[line]; found {
+		return r, true
+	}
+	if r, found := a.byLine[line-1]; found {
+		return r, true
+	}
+	return "", false
+}
+
+// exempt reports whether node is annotated `//det:<marker>-ok`; an
+// annotation without a reason is itself reported as a finding.
+func (p *Pass) exempt(ann annotations, node ast.Node, marker string) bool {
+	reason, ok := ann.at(p.Fset.Position(node.Pos()).Line)
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		p.Reportf(node.Pos(), "//det:%s-ok annotation requires a reason", marker)
+	}
+	return true
+}
+
+// isMapType reports whether the expression's type is (or underlies to) a map.
+func (p *Pass) isMapType(x ast.Expr) bool {
+	t := p.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rootIdent returns the base identifier of an assignable expression:
+// x, x.f, x[i], *x, x.f[i].g all root at x. Nil when the root is not a
+// plain identifier (e.g. a function call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its declared object (definition or use).
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// declaredWithin reports whether the object's declaration lies inside the
+// source interval [lo, hi]. Objects with no position (builtins) are
+// treated as outside.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return lo <= obj.Pos() && obj.Pos() <= hi
+}

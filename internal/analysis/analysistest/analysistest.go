@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over testdata fixture packages
+// and checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the self-contained
+// framework in internal/analysis.
+//
+// Expectations are written as line comments in the fixture source:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string after `want` is a regular
+// expression that must match a diagnostic reported on that line; every
+// diagnostic must likewise be claimed by an expectation. A fixture file
+// with no `want` comments asserts the analyzer stays silent on it.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"planaria/internal/analysis"
+)
+
+// wantRe matches one quoted expectation after a `want` marker.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under dir/src and applies the analyzer,
+// failing t on any mismatch between diagnostics and `// want` comments.
+// pkgs name subdirectories of dir/src (e.g. "sched", "planaria/x").
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, pkgdir := range pkgs {
+		pkg, err := loader.LoadDir(filepath.Join(dir, "src", filepath.FromSlash(pkgdir)))
+		if err != nil {
+			t.Fatalf("load %s: %v", pkgdir, err)
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkgdir, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects, err := collectExpectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		claimed := false
+		for _, e := range expects {
+			if e.matched || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectExpectations scans the fixture files' comments for `want`
+// markers.
+func collectExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[idx+len("want "):], -1) {
+					pat := q
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else if u, err := strconv.Unquote(q); err == nil {
+						pat = u
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"planaria/internal/analysis"
+	"planaria/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over a positive fixture (diagnostics expected at
+// the `// want` comments, silence elsewhere) and, where the check is
+// package-gated, a negative fixture proving the gate.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "sched", "free")
+}
+
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoClock, "sim")
+}
+
+func TestParOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ParOrder, "parfix")
+}
+
+func TestFloatAccum(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FloatAccum, "accum")
+}
+
+// TestRepoClean runs the full suite over the repository tree — the same
+// gate CI applies via `go run ./cmd/planaria-vet ./...` — so a
+// determinism violation anywhere fails the package tests too.
+func TestRepoClean(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := analysis.PackageDirs(loader.Root(), []string{"./..."})
+	if err != nil {
+		t.Fatalf("expand ./...: %v", err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("expected to find the repository's packages, got %d dirs", len(dirs))
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		for _, a := range analysis.All() {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			}
+		}
+	}
+}
+
+// TestPackageDirsSkipsTestdata guards the pattern expansion: fixture
+// trees must never be vetted as repository packages.
+func TestPackageDirsSkipsTestdata(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := analysis.PackageDirs(loader.Root(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if filepath.Base(filepath.Dir(d)) == "src" {
+			t.Errorf("testdata fixture leaked into package expansion: %s", d)
+		}
+	}
+}

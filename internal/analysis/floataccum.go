@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAccum flags floating-point accumulation (`+=`, `-=`, `*=`, `/=`)
+// whose iteration order comes from a map range: float arithmetic is not
+// associative, so a map-ordered reduction drifts run-to-run — the classic
+// source of last-bit noise in energy and latency totals. Accumulators
+// declared inside the map-range body reset every iteration and are fine;
+// only accumulators carried across map iterations are flagged. Sorting
+// the keys fixes the finding; a `//det:floataccum-ok <reason>` annotation
+// exempts a site that is deliberately order-insensitive (e.g. feeding a
+// tolerance-based comparison).
+var FloatAccum = &Analyzer{
+	Name: "floataccum",
+	Doc: "flags float accumulation carried across map-range iterations; " +
+		"iteration order must come from sorted keys, not the map",
+	Run: runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) error {
+	for _, f := range pass.Files {
+		ann := annotationsFor(pass.Fset, f, "floataccum")
+		// mapRanges tracks the enclosing map-range statements along the
+		// current inspection path (ast.Inspect reports n == nil on pop).
+		var mapRanges []*ast.RangeStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			for len(mapRanges) > 0 && n.Pos() >= mapRanges[len(mapRanges)-1].End() {
+				mapRanges = mapRanges[:len(mapRanges)-1]
+			}
+			if rs, ok := n.(*ast.RangeStmt); ok && pass.isMapType(rs.X) {
+				mapRanges = append(mapRanges, rs)
+				return true
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(mapRanges) == 0 || !isCompoundAssign(as.Tok) {
+				return true
+			}
+			if !pass.isFloat(as.Lhs[0]) {
+				return true
+			}
+			root := rootIdent(as.Lhs[0])
+			if root == nil {
+				return true
+			}
+			obj := pass.objectOf(root)
+			if obj == nil {
+				return true
+			}
+			// Flag when some enclosing map range carries the accumulator
+			// across its (unordered) iterations.
+			for _, rs := range mapRanges {
+				if !declaredWithin(obj, rs.Pos(), rs.End()) {
+					if !pass.exempt(ann, as, "floataccum") {
+						pass.Reportf(as.Pos(),
+							"float accumulation into %s ordered by range over map %s: float reduction is order-sensitive — iterate sorted keys",
+							root.Name, types.ExprString(rs.X))
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCompoundAssign reports whether tok is an order-sensitive compound
+// assignment operator on floats.
+func isCompoundAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isFloat reports whether the expression has a floating-point (or
+// complex) type.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map in the deterministic packages.
+// Go randomizes map iteration order per run, so any map-ordered loop
+// whose effect is order-sensitive (appending to output, picking a
+// winner, accumulating floats, returning the first error) silently
+// breaks run-to-run reproducibility of cycle counts and metrics.
+//
+// Two escapes are recognized:
+//
+//   - the canonical sorted-keys preamble — a loop whose body is exactly
+//     `keys = append(keys, k)`, collecting the keys for a subsequent
+//     sort — is allowed;
+//   - a `//det:mapiter-ok <reason>` annotation on the loop (same line or
+//     the line above) exempts a provably order-insensitive loop; the
+//     reason is mandatory.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration in deterministic packages unless keys are sorted first " +
+		"or the loop is annotated //det:mapiter-ok <reason>",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !DeterministicPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ann := annotationsFor(pass.Fset, f, "mapiter")
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !pass.isMapType(rs.X) {
+				return true
+			}
+			if pass.exempt(ann, rs, "mapiter") {
+				return true
+			}
+			if isKeyCollection(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s in deterministic package %q: iterate sorted keys, or annotate //det:mapiter-ok <reason> if provably order-insensitive",
+				types.ExprString(rs.X), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollection recognizes the sanctioned preamble of the sorted-keys
+// pattern: a map-range whose entire body appends the range key to a
+// slice (`keys = append(keys, k)`), which is then sorted before use.
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || arg0.Name != dst.Name {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	return ok && arg1.Name == key.Name
+}

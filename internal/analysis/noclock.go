@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoClock forbids nondeterministic time and randomness sources in the
+// deterministic packages: time.Now (wall clock), the global math/rand
+// functions (process-wide state, randomly seeded since Go 1.20), and all
+// of math/rand/v2's package-level functions (always randomly seeded).
+// RNGs must be seed-parameterized — rand.New(rand.NewSource(seed)) with
+// the seed threaded from configuration, the way internal/vm and
+// internal/workload already do. A `//det:clock-ok <reason>` annotation
+// exempts a call site (the reason is mandatory).
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc: "forbids time.Now and global math/rand in deterministic packages; " +
+		"randomness must come from seed-parameterized rand.New(rand.NewSource(seed))",
+	Run: runNoClock,
+}
+
+// noClockAllowed lists math/rand package-level functions that do not
+// consume the global generator's state.
+var noClockAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runNoClock(pass *Pass) error {
+	if !DeterministicPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ann := annotationsFor(pass.Fset, f, "clock")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := pass.packageQualifier(sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "time" && sel.Sel.Name == "Now":
+				if !pass.exempt(ann, call, "clock") {
+					pass.Reportf(call.Pos(),
+						"time.Now in deterministic package %q: simulation time must be explicit, not wall clock",
+						pass.Pkg.Name())
+				}
+			case pkgPath == "math/rand" && !noClockAllowed[sel.Sel.Name]:
+				if !pass.exempt(ann, call, "clock") {
+					pass.Reportf(call.Pos(),
+						"global math/rand.%s in deterministic package %q: use a seed-parameterized rand.New(rand.NewSource(seed))",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			case pkgPath == "math/rand/v2":
+				// v2 has no Seed; every package-level function draws from
+				// a randomly-seeded global generator.
+				if sel.Sel.Name != "New" && !isConstructor(sel.Sel.Name) && !pass.exempt(ann, call, "clock") {
+					pass.Reportf(call.Pos(),
+						"global math/rand/v2.%s in deterministic package %q: use a seeded rand.New(...)",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstructor reports whether a math/rand/v2 package-level name builds
+// a source or generator rather than drawing from the global one.
+func isConstructor(name string) bool {
+	switch name {
+	case "NewPCG", "NewChaCha8", "NewZipf":
+		return true
+	}
+	return false
+}
+
+// packageQualifier resolves sel's receiver to an imported package path
+// when the selector is a package-qualified reference (e.g. time.Now),
+// as opposed to a field or method selection.
+func (p *Pass) packageQualifier(sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.objectOf(id).(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

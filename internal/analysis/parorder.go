@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ParOrder checks call sites of the internal/par worker-pool primitives
+// (ForEach, ForEachN). The package's contract — parallel compute,
+// deterministic output — holds only when the closure confines its writes
+// to per-index state (results[i] = ...) and aggregation happens in index
+// order afterwards. ParOrder flags:
+//
+//   - writes to captured variables that do not go through an index
+//     expression mentioning the closure's index parameter (shared-slice
+//     or accumulator writes race and aggregate in completion order);
+//   - references to an enclosing loop's iteration variable inside the
+//     closure (per-item data must arrive via the index parameter).
+//
+// A `//det:parorder-ok <reason>` annotation on the offending statement
+// exempts it, e.g. for writes the caller proves are mutex-serialized and
+// order-insensitive.
+var ParOrder = &Analyzer{
+	Name: "parorder",
+	Doc: "checks internal/par closures: captured state may only be written through " +
+		"the closure's index parameter, and enclosing loop variables must not be captured",
+	Run: runParOrder,
+}
+
+func runParOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ann := annotationsFor(pass.Fset, f, "parorder")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pass.parCallee(call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				// A pre-built function value: nothing to inspect here.
+				return true
+			}
+			pass.checkParClosure(f, ann, name, call, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// parCallee reports whether call invokes internal/par's ForEach/ForEachN.
+func (p *Pass) parCallee(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	path, ok := p.packageQualifier(sel)
+	if !ok || !(path == "internal/par" || strings.HasSuffix(path, "/internal/par")) {
+		return "", false
+	}
+	if sel.Sel.Name != "ForEach" && sel.Sel.Name != "ForEachN" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (p *Pass) checkParClosure(file *ast.File, ann annotations, name string, call *ast.CallExpr, fn *ast.FuncLit) {
+	idx := p.indexParam(fn)
+	loopVars := p.enclosingLoopVars(file, call)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				p.checkParWrite(ann, name, fn, idx, lhs, st)
+			}
+		case *ast.IncDecStmt:
+			p.checkParWrite(ann, name, fn, idx, st.X, st)
+		case *ast.Ident:
+			if obj := p.objectOf(st); obj != nil && loopVars[obj] {
+				if !p.exempt(ann, st, "parorder") {
+					p.Reportf(st.Pos(),
+						"closure passed to par.%s captures enclosing loop variable %s: pass per-item data through the index parameter",
+						name, st.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexParam returns the closure's index parameter object (fn's first
+// int parameter), or nil when absent.
+func (p *Pass) indexParam(fn *ast.FuncLit) types.Object {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+		return nil
+	}
+	names := fn.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	return p.objectOf(names[0])
+}
+
+// checkParWrite flags a write whose target is captured from outside the
+// closure and not addressed through the index parameter.
+func (p *Pass) checkParWrite(ann annotations, name string, fn *ast.FuncLit, idx types.Object, lhs ast.Expr, stmt ast.Stmt) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := p.objectOf(root)
+	if obj == nil || declaredWithin(obj, fn.Pos(), fn.End()) {
+		return // closure-local state is fine
+	}
+	if p.indexAddressed(lhs, idx) {
+		return // results[i], progs[i/2].field, ... — the per-index slot
+	}
+	if p.exempt(ann, stmt, "parorder") {
+		return
+	}
+	p.Reportf(lhs.Pos(),
+		"closure passed to par.%s writes captured %s outside its index-addressed slot: writes must go through the closure's index parameter (e.g. results[i] = ...)",
+		name, root.Name)
+}
+
+// indexAddressed reports whether the assignable expression goes through
+// an index expression that mentions the closure's index parameter.
+func (p *Pass) indexAddressed(e ast.Expr, idx types.Object) bool {
+	if idx == nil {
+		return false
+	}
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			if p.mentions(v.Index, idx) {
+				return true
+			}
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// mentions reports whether expr references obj.
+func (p *Pass) mentions(expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.objectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingLoopVars collects the iteration-variable objects of every
+// for/range statement lexically enclosing the call.
+func (p *Pass) enclosingLoopVars(file *ast.File, call *ast.CallExpr) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.objectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || n.Pos() > call.Pos() || n.End() < call.End() {
+			return false // only descend into nodes enclosing the call
+		}
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			addIdent(st.Key)
+			addIdent(st.Value)
+		case *ast.ForStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				for _, l := range init.Lhs {
+					addIdent(l)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}

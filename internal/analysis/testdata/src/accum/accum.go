@@ -1,0 +1,75 @@
+// Package accum is a floataccum fixture: float reductions carried
+// across map-range iterations drift run-to-run and must be flagged.
+package accum
+
+import "sort"
+
+var m = map[string]float64{"a": 0.1, "b": 0.2}
+
+// BadTotal accumulates a float in map order.
+func BadTotal() float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total ordered by range over map m`
+	}
+	return total
+}
+
+// BadNested carries the accumulator across an outer map range even
+// though the inner loop is a slice.
+func BadNested(groups map[string][]float64) float64 {
+	var total float64
+	for _, vs := range groups {
+		for _, v := range vs {
+			total += v // want `float accumulation into total ordered by range over map groups`
+		}
+	}
+	return total
+}
+
+// LocalReset declares the accumulator inside the map-range body, so each
+// iteration starts fresh and order cannot matter.
+func LocalReset(groups map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(groups))
+	//det:mapiter-ok writes one independent out entry per key
+	for k, vs := range groups {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// IntCount is exact arithmetic: order-insensitive, not flagged.
+func IntCount() int {
+	n := 0
+	for range m {
+		n += 1
+	}
+	return n
+}
+
+// SortedKeys accumulates in sorted-key order, the sanctioned fix.
+func SortedKeys() float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Annotated opts out with a reason.
+func Annotated() float64 {
+	var total float64
+	for _, v := range m {
+		total += v //det:floataccum-ok feeds a tolerance-based comparison only
+	}
+	return total
+}

@@ -1,0 +1,14 @@
+// Package free is a maporder negative fixture: it is not in the
+// deterministic set, so map iteration here is not flagged.
+package free
+
+var m = map[string]int{"a": 1}
+
+// Loop iterates a map in a package outside the determinism contract.
+func Loop() int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+// Package parfix is a parorder fixture: closures handed to the
+// internal/par pool must confine writes to their index-addressed slot
+// and must not capture enclosing loop variables.
+package parfix
+
+import (
+	"sync"
+
+	"planaria/internal/par"
+)
+
+type pair struct{ a, b float64 }
+
+func work(i int) float64 { return float64(i) }
+
+// Good follows the contract: every write lands in the closure's slot.
+func Good(n int) []float64 {
+	results := make([]float64, n)
+	par.ForEach(n, func(i int) {
+		results[i] = work(i)
+	})
+	return results
+}
+
+// GoodDerived writes through indices derived from the parameter
+// (disjoint slots per i), like experiments.NewSuite does.
+func GoodDerived(n int) []pair {
+	out := make([]pair, n)
+	par.ForEach(2*n, func(i int) {
+		if i%2 == 0 {
+			out[i/2].a = work(i)
+		} else {
+			out[i/2].b = work(i)
+		}
+	})
+	return out
+}
+
+// BadAccumulator reduces into shared state in completion order.
+func BadAccumulator(n int) float64 {
+	var sum float64
+	par.ForEach(n, func(i int) {
+		sum += work(i) // want `writes captured sum outside its index-addressed slot`
+	})
+	return sum
+}
+
+// BadAppend grows a shared slice concurrently.
+func BadAppend(n int) []float64 {
+	var out []float64
+	par.ForEach(n, func(i int) {
+		out = append(out, work(i)) // want `writes captured out`
+	})
+	return out
+}
+
+// BadFixedSlot writes a slot that does not depend on the index.
+func BadFixedSlot(n int) []float64 {
+	out := make([]float64, n)
+	par.ForEach(n, func(i int) {
+		out[0] = work(i) // want `writes captured out`
+	})
+	return out
+}
+
+// BadLoopCapture references the enclosing range variable instead of
+// indexing through the closure parameter.
+func BadLoopCapture(items []float64) []float64 {
+	out := make([]float64, len(items))
+	for j, item := range items {
+		par.ForEach(1, func(i int) {
+			out[j] = item // want `writes captured out` `captures enclosing loop variable j` `captures enclosing loop variable item`
+		})
+	}
+	return out
+}
+
+// AnnotatedMutex serializes a provably order-insensitive write (an
+// integer counter) and says so.
+func AnnotatedMutex(n int) int {
+	var mu sync.Mutex
+	count := 0
+	par.ForEach(n, func(i int) {
+		mu.Lock()
+		count++ //det:parorder-ok integer increment under mutex, order-insensitive
+		mu.Unlock()
+	})
+	return count
+}

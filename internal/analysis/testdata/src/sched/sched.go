@@ -1,0 +1,56 @@
+// Package sched is a maporder fixture: its name is in the deterministic
+// set, so unsorted map iteration must be flagged.
+package sched
+
+import "sort"
+
+var m = map[int]float64{1: 1, 2: 2}
+
+// Bad iterates a map directly.
+func Bad() float64 {
+	var out float64
+	for k := range m { // want `range over map m in deterministic package "sched"`
+		out += float64(k)
+	}
+	for k, v := range m { // want `range over map m`
+		out += float64(k) + v
+	}
+	return out
+}
+
+// Sorted uses the sanctioned preamble: collect keys, sort, iterate.
+func Sorted() float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out float64
+	for _, k := range keys {
+		out += m[k]
+	}
+	return out
+}
+
+// Annotated is exempted with a reason.
+func Annotated() int {
+	n := 0
+	//det:mapiter-ok counting entries is order-insensitive
+	for range m {
+		n++
+	}
+	for range m { //det:mapiter-ok trailing-comment form, also order-insensitive
+		n++
+	}
+	return n
+}
+
+// MissingReason has the annotation but no justification.
+func MissingReason() int {
+	n := 0
+	//det:mapiter-ok
+	for range m { // want `annotation requires a reason`
+		n++
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Package sim is a noclock fixture: wall-clock and global-RNG calls in a
+// deterministic package must be flagged; seed-parameterized generators
+// pass.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock reads the wall clock.
+func WallClock() float64 {
+	t := time.Now() // want `time\.Now in deterministic package "sim"`
+	return float64(t.Unix())
+}
+
+// GlobalRand draws from the process-wide generator.
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// GlobalShuffle mutates via the process-wide generator.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+// Seeded is the sanctioned pattern: the seed arrives as a parameter.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Annotated is exempted with a reason (e.g. operational logging that
+// never feeds simulated state).
+func Annotated() int64 {
+	//det:clock-ok wall time is only logged, never simulated
+	return time.Now().UnixNano()
+}
+
+// Elapsed uses non-Now time helpers, which are fine.
+func Elapsed(d time.Duration) float64 {
+	return d.Seconds()
+}

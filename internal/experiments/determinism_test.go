@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"planaria/internal/metrics"
+	"planaria/internal/sim"
+	"planaria/internal/workload"
+)
+
+// renderComparison renders every serving-comparison figure plus a raw
+// hexadecimal dump of each row's float fields, so a single ULP of
+// run-to-run drift changes the output.
+func renderComparison(rows []ServingRow) string {
+	var b strings.Builder
+	b.WriteString(FormatFig12(rows))
+	b.WriteString(FormatFig13(rows))
+	b.WriteString(FormatFig14(rows))
+	b.WriteString(FormatFig15(rows))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s|%s %x %x %x %x %x %x %x %x %x %x %x %x\n",
+			r.Workload, r.QoS,
+			r.PlanariaQPS, r.PremaQPS, r.Ratio, r.RateQPS,
+			r.PlanariaSLA, r.PremaSLA, r.SLAGainPct,
+			r.PlanariaFair, r.PremaFair, r.FairRatio,
+			r.PlanariaJ, r.PremaJ)
+	}
+	return b.String()
+}
+
+// TestServingComparisonDeterministic is the determinism regression test
+// the analyzers back up: it runs the default serving comparison twice
+// with completely fresh suites (fresh stateful policies, fresh
+// throughput caches, the same parallel fan-out) and asserts the rendered
+// metrics are byte-identical. CI runs it under -race as well — the
+// worker-pool sweeps must not trade reproducibility for speed.
+func TestServingComparisonDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving sweep")
+	}
+	run := func() string {
+		s := testSuite(t)
+		rows, err := s.ServingComparison()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderComparison(rows)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("serving comparison differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", first, second)
+	}
+}
+
+// TestNodeMetricsDeterministic replays one workload instance through
+// both systems twice and compares the per-model latency tables and
+// outcome metrics byte-for-byte, covering the single-node path (task
+// retirement, fairness, energy accounting) at full float precision.
+func TestNodeMetricsDeterministic(t *testing.T) {
+	s := testSuite(t)
+	sc := workload.ScenarioB()
+	run := func(sys metrics.System) string {
+		reqs, err := workload.Generate(sc, workload.QoSMedium, 40, 120, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := &sim.Node{Cfg: sys.Cfg, Policy: sys.NewPolicy(), Programs: sys.Programs, Params: sys.Params}
+		out, err := node.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := metrics.GroupLatencies(reqs, out.Latency, out.Finishes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%s\nenergy=%x makespan=%x busy=%x fair=%x preempt=%d sla=%v\n",
+			metrics.FormatLatencyTable(stats),
+			out.EnergyJ, out.Makespan, out.BusyTime, out.Fairness, out.Preemptions, out.MeetsSLA)
+	}
+	for _, sys := range []metrics.System{s.Planaria, s.PREMA} {
+		first, second := run(sys), run(sys)
+		if first != second {
+			t.Errorf("%s: node metrics differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s",
+				sys.Name, first, second)
+		}
+	}
+}

@@ -58,12 +58,26 @@ func (s *Suite) Table2Sensitivity() ([]Table2Cell, error) {
 		if gemms == 0 {
 			continue
 		}
-		for sh, c := range counts {
+		shapes := make([]arch.Shape, 0, len(counts))
+		for sh := range counts {
+			shapes = append(shapes, sh)
+		}
+		sort.Slice(shapes, func(i, j int) bool {
+			a, b := shapes[i], shapes[j]
+			if a.Clusters != b.Clusters {
+				return a.Clusters < b.Clusters
+			}
+			if a.H != b.H {
+				return a.H < b.H
+			}
+			return a.W < b.W
+		})
+		for _, sh := range shapes {
 			cells = append(cells, Table2Cell{
 				Shape:   sh,
 				OD:      sh.UsesOmniDirectional(cfg),
 				Model:   name,
-				Percent: 100 * float64(c) / float64(gemms),
+				Percent: 100 * float64(counts[sh]) / float64(gemms),
 			})
 		}
 	}

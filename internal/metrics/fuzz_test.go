@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// decodeFloats turns fuzz bytes into a float64 slice (8 bytes each,
+// little-endian), so the fuzzer explores NaNs, infinities, denormals,
+// and signed zeros alongside ordinary values.
+func decodeFloats(data []byte) []float64 {
+	vals := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return vals
+}
+
+// FuzzPercentiles hammers the nearest-rank percentile used by every
+// latency table: for arbitrary (possibly NaN-laden) inputs and arbitrary
+// p — including NaN and ±Inf p — Percentile must not panic and must
+// return an element of the input; on clean inputs it must stay within
+// [min, max] and be monotone in p.
+func FuzzPercentiles(f *testing.F) {
+	seed := func(vals []float64, p float64) {
+		buf := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		f.Add(buf, p)
+	}
+	seed(nil, 0.5)
+	seed([]float64{1}, 0.99)
+	seed([]float64{3, 1, 2}, 0.5)
+	seed([]float64{math.NaN(), 1, 2}, 0.9)
+	seed([]float64{math.Inf(1), math.Inf(-1), 0}, 0.01)
+	seed([]float64{0.1, 0.2, 0.3, 0.4}, math.NaN())
+
+	f.Fuzz(func(t *testing.T, data []byte, p float64) {
+		vals := decodeFloats(data)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+
+		got := Percentile(sorted, p) // must not panic for any input
+
+		if len(vals) == 0 {
+			if got != 0 {
+				t.Fatalf("Percentile(empty, %v) = %v, want 0", p, got)
+			}
+			return
+		}
+		// The result must be one of the inputs, bit-for-bit (NaN included):
+		// nearest-rank selects, it never interpolates.
+		found := false
+		for _, v := range vals {
+			if math.Float64bits(v) == math.Float64bits(got) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Percentile(%v, %v) = %v is not an element of the input", sorted, p, got)
+		}
+
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return // ordering properties are undefined with NaNs present
+			}
+		}
+		if got < sorted[0] || got > sorted[len(sorted)-1] {
+			t.Fatalf("Percentile(%v, %v) = %v outside [%v, %v]", sorted, p, got, sorted[0], sorted[len(sorted)-1])
+		}
+		if !math.IsNaN(p) {
+			if lo := Percentile(sorted, p/2); lo > got && p >= 0 {
+				t.Fatalf("Percentile not monotone: p=%v -> %v, p=%v -> %v", p/2, lo, p, got)
+			}
+		}
+		if Percentile(sorted, 0) != sorted[0] || Percentile(sorted, 1) != sorted[len(sorted)-1] {
+			t.Fatalf("Percentile endpoints broken for %v", sorted)
+		}
+	})
+}

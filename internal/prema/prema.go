@@ -13,6 +13,8 @@
 package prema
 
 import (
+	"sort"
+
 	"planaria/internal/arch"
 	"planaria/internal/sim"
 )
@@ -73,7 +75,12 @@ func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int 
 		}
 		p.last[t.ID] = now
 	}
+	stale := make([]int, 0, len(p.tokens))
 	for id := range p.tokens {
+		stale = append(stale, id)
+	}
+	sort.Ints(stale)
+	for _, id := range stale {
 		if !live[id] {
 			delete(p.tokens, id)
 			delete(p.last, id)

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
@@ -191,7 +192,15 @@ func validateAllocation(alloc map[int]int, tasks []*Task, total int) error {
 	for _, t := range tasks {
 		ids[t.ID] = true
 	}
-	for id, a := range alloc {
+	// Iterate task IDs in sorted order so the first validation error is
+	// the same run-to-run (map order would pick an arbitrary one).
+	allocated := make([]int, 0, len(alloc))
+	for id := range alloc {
+		allocated = append(allocated, id)
+	}
+	sort.Ints(allocated)
+	for _, id := range allocated {
+		a := alloc[id]
 		if !ids[id] {
 			return fmt.Errorf("sim: policy allocated to unknown task %d", id)
 		}
