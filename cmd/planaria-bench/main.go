@@ -1,0 +1,68 @@
+// Command planaria-bench runs the repository's benchmark harness and
+// writes a machine-readable report.
+//
+// Usage:
+//
+//	planaria-bench [-bench regexp] [-pkg pattern] [-benchtime 1x] [-out BENCH_serving.json]
+//
+// It shells out to `go test -run=^$ -bench=... -benchmem`, relays the
+// textual output, parses the result lines (including every custom
+// b.ReportMetric quantity the serving benchmarks emit), and encodes them
+// as deterministic JSON sorted by benchmark name. CI's bench-smoke step
+// runs it at -benchtime=1x and uploads the artifact.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"planaria/internal/obs"
+)
+
+func main() {
+	bench := flag.String("bench", "Benchmark(Fig|Table|Serve)", "benchmark name regexp passed to go test -bench")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	out := flag.String("out", "BENCH_serving.json", "output JSON path")
+	timeout := flag.String("timeout", "20m", "go test -timeout value")
+	flag.Parse()
+
+	if err := run(*bench, *pkg, *benchtime, *timeout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "planaria-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pkg, benchtime, timeout, out string) error {
+	args := []string{"test", "-run=^$", "-bench=" + bench,
+		"-benchtime=" + benchtime, "-benchmem", "-timeout=" + timeout, pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	// Relay the harness output live while keeping a copy to parse.
+	cmd.Stdout = io.MultiWriter(os.Stdout, &buf)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %v: %w", args, err)
+	}
+	rep, err := obs.ParseBench(&buf)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results matched -bench=%s in %s", bench, pkg)
+	}
+	rep.BenchTime = benchtime
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", out, len(rep.Results))
+	return nil
+}

@@ -5,15 +5,24 @@
 //	planaria [flags] <experiment>...
 //
 // Experiments: table1, table2, fig12, fig13, fig14, fig15, fig16, fig17,
-// fig18, fig19, ablation, models, all.
+// fig18, fig19, ablation, models, trace, all.
+//
+// The trace experiment runs one instrumented co-location instance on both
+// systems and writes a Perfetto-loadable timeline (-trace-out) and a
+// metrics snapshot (-metrics-out); open the timeline at ui.perfetto.dev.
 //
 // Flags tune simulation fidelity; the defaults match EXPERIMENTS.md.
+// Profiling flags (-cpuprofile, -memprofile, -phasestats) live here in
+// the CLI: the simulation packages never read the wall clock (enforced by
+// planaria-vet), so all wall-time accounting stays in this layer.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,30 +32,123 @@ import (
 	"planaria/internal/workload"
 )
 
+// phaseClock reports wall-clock and heap-allocation deltas per CLI phase
+// on stderr when -phasestats is set.
+type phaseClock struct {
+	enabled    bool
+	start      time.Time
+	last       time.Time
+	lastBytes  uint64
+	lastObjs   uint64
+}
+
+func newPhaseClock(enabled bool) *phaseClock {
+	p := &phaseClock{enabled: enabled, start: time.Now()}
+	p.last = p.start
+	if enabled {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		p.lastBytes, p.lastObjs = ms.TotalAlloc, ms.Mallocs
+	}
+	return p
+}
+
+// mark closes the current phase under the given name.
+func (p *phaseClock) mark(name string) {
+	if !p.enabled {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(os.Stderr, "phase %-12s %8.2fs  %10.1f MB  %12d allocs\n",
+		name, time.Since(p.last).Seconds(),
+		float64(ms.TotalAlloc-p.lastBytes)/1e6, ms.Mallocs-p.lastObjs)
+	p.last = time.Now()
+	p.lastBytes, p.lastObjs = ms.TotalAlloc, ms.Mallocs
+}
+
+func scenarioByName(name string) (workload.Scenario, error) {
+	for _, sc := range workload.Scenarios() {
+		if strings.EqualFold(sc.Name, name) || strings.EqualFold(sc.Name, "Workload-"+name) {
+			return sc, nil
+		}
+	}
+	return workload.Scenario{}, fmt.Errorf("unknown scenario %q (want A, B, or C)", name)
+}
+
+func qosByName(name string) (workload.QoSLevel, error) {
+	for _, lvl := range workload.Levels {
+		if strings.EqualFold(lvl.Name, name) || strings.EqualFold(lvl.Name, "QoS-"+name) {
+			return lvl, nil
+		}
+	}
+	return workload.QoSLevel{}, fmt.Errorf("unknown QoS level %q (want S, M, or H)", name)
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	requests := flag.Int("requests", 400, "requests per workload instance")
 	instances := flag.Int("instances", 3, "workload instances (seeds) per evaluation point")
 	seed := flag.Int64("seed", 1, "base random seed")
-	rate := flag.Float64("rate", 100, "fixed arrival rate (QPS) for fig16")
+	rate := flag.Float64("rate", 100, "fixed arrival rate (QPS) for fig16 and trace")
 	profile := flag.String("profile", "", "print the per-layer compiled profile of a model (e.g. -profile ResNet-50)")
 	profAlloc := flag.Int("alloc", 16, "subarray allocation for -profile")
+	scenario := flag.String("scenario", "A", "workload scenario for trace (A, B, or C)")
+	qosName := flag.String("qos", "M", "QoS level for trace (S, M, or H)")
+	traceOut := flag.String("trace-out", "", "write the trace experiment's Perfetto timeline JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write the trace experiment's metrics snapshot JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	phasestats := flag.Bool("phasestats", false, "report per-phase wall-clock and allocations on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: planaria [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "planaria:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "planaria:", err)
+			}
+		}()
+	}
+	phases := newPhaseClock(*phasestats)
+
 	if *profile != "" {
 		rows, err := experiments.Profile(*profile, *profAlloc)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatProfile(*profile, *profAlloc, rows))
-		return
+		phases.mark("profile")
+		return 0
 	}
 	if flag.NArg() == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	want := map[string]bool{}
@@ -65,9 +167,10 @@ func main() {
 	start := time.Now()
 	suite, err := experiments.NewSuite()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	suite.Opt = metrics.Options{Requests: *requests, Instances: *instances, Seed: *seed}
+	phases.mark("compile")
 
 	if want["models"] {
 		fmt.Println("Benchmark models")
@@ -82,17 +185,19 @@ func main() {
 	if want["table2"] {
 		cells, err := suite.Table2Sensitivity()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatTable2(cells))
+		phases.mark("table2")
 	}
 
 	needServing := want["fig12"] || want["fig13"] || want["fig14"] || want["fig15"]
 	if needServing {
 		rows, err := suite.ServingComparison()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
+		phases.mark("serving")
 		if want["fig12"] {
 			fmt.Println(experiments.FormatFig12(rows))
 		}
@@ -109,23 +214,26 @@ func main() {
 	if want["fig16"] {
 		rows, err := suite.Fig16ScaleOut(*rate)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatFig16(rows))
+		phases.mark("fig16")
 	}
 	if want["fig17"] {
 		rows, err := suite.Fig17Isolated()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatFig17(rows))
+		phases.mark("fig17")
 	}
 	if want["fig18"] {
 		rows, err := suite.Fig18Granularity()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatFig18(rows))
+		phases.mark("fig18")
 	}
 	if want["fig19"] {
 		fmt.Println(experiments.FormatFig19())
@@ -134,31 +242,72 @@ func main() {
 		for _, sc := range workload.Scenarios() {
 			rows, err := suite.SchedulerAblation(sc)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			fmt.Println(experiments.FormatSchedulerAblation(rows))
 		}
 		orows, err := experiments.OmniAblation()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatOmniAblation(orows))
 		grows, err := suite.ExtendedGranularity()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Extended granularity sweep (8/16/32/64):")
 		fmt.Println(experiments.FormatFig18(grows))
 		prows, err := suite.PenaltySensitivity(workload.ScenarioC(), workload.QoSMedium)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatPenaltySensitivity(workload.ScenarioC(), workload.QoSMedium, prows))
+		phases.mark("ablation")
+	}
+	if want["trace"] {
+		if err := runTrace(suite, *scenario, *qosName, *rate, *requests, *seed, *traceOut, *metricsOut); err != nil {
+			return fail(err)
+		}
+		phases.mark("trace")
 	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+	return 0
 }
 
-func fatal(err error) {
+// runTrace executes the instrumented co-location run and writes its
+// artifacts. Output filenames default next to the working directory.
+func runTrace(suite *experiments.Suite, scenario, qosName string, rate float64, requests int, seed int64, traceOut, metricsOut string) error {
+	sc, err := scenarioByName(scenario)
+	if err != nil {
+		return err
+	}
+	lvl, err := qosByName(qosName)
+	if err != nil {
+		return err
+	}
+	res, err := suite.TracedRun(sc, lvl, rate, requests, seed)
+	if err != nil {
+		return err
+	}
+	if traceOut == "" {
+		traceOut = "trace.json"
+	}
+	if err := os.WriteFile(traceOut, res.TraceJSON, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s (%d bytes) — open at https://ui.perfetto.dev\n", traceOut, len(res.TraceJSON))
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, append(res.MetricsJSON, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s (%d bytes)\n", metricsOut, len(res.MetricsJSON))
+	}
+	fmt.Println()
+	fmt.Println(res.MetricsText)
+	return nil
+}
+
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "planaria:", err)
-	os.Exit(1)
+	return 1
 }

@@ -111,6 +111,12 @@ var DeterministicPackages = map[string]bool{
 	"model":       true,
 	"compiler":    true,
 	"experiments": true,
+	// The observability layer must itself be deterministic: its snapshots
+	// and trace exports are compared byte-for-byte run-to-run, so a wall
+	// clock or map-ordered encoder inside internal/obs is a contract
+	// violation like any other. Wall-clock profiling lives in the CLI
+	// layer (cmd/planaria), which is not a deterministic package.
+	"obs": true,
 }
 
 // annotations maps source lines to //det:<marker>-ok annotation reasons

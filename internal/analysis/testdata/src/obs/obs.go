@@ -1,0 +1,37 @@
+// Package obs is a noclock fixture for the observability layer: the
+// registry and trace builder run on simulated time only, so wall-clock
+// reads and global RNG draws inside them must be flagged. CLI-layer
+// profiling (cmd/planaria) is outside the deterministic packages; an
+// annotated escape hatch stays available for probes that provably never
+// feed a snapshot.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StampSnapshot timestamps a metrics snapshot with the wall clock — the
+// exact bug the determinism contract forbids: two identical runs would
+// encode different bytes.
+func StampSnapshot() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package "obs"`
+}
+
+// JitterSample perturbs a counter sample with the global generator.
+func JitterSample(v float64) float64 {
+	return v + rand.Float64() // want `global math/rand\.Float64`
+}
+
+// SimStamp is the sanctioned pattern: simulated time arrives as an
+// argument and is recorded verbatim.
+func SimStamp(simSeconds float64) float64 {
+	return simSeconds
+}
+
+// DebugOnly is exempted with a reason: the value is printed to a
+// developer log and never reaches a snapshot or trace encoder.
+func DebugOnly() int64 {
+	//det:clock-ok operator-facing debug log only, never encoded into artifacts
+	return time.Now().UnixNano()
+}

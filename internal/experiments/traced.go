@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"planaria/internal/metrics"
+	"planaria/internal/obs"
+	"planaria/internal/sim"
+	"planaria/internal/workload"
+)
+
+// TracedResult bundles the observability artifacts of one instrumented
+// co-location run: the deterministic metrics snapshot (JSON and text) and
+// the Chrome trace-event timeline, both covering the Planaria and PREMA
+// systems side by side in one document.
+type TracedResult struct {
+	// MetricsJSON is the registry snapshot, sorted by series id.
+	MetricsJSON []byte
+	// MetricsText is the aligned-table rendering of the same snapshot.
+	MetricsText string
+	// TraceJSON is the Perfetto-loadable timeline: per-request lifecycle
+	// spans, allocation counters, queue occupancy, and scheduler decision
+	// instants on "planaria/..." and "prema/..." tracks.
+	TraceJSON []byte
+	// Planaria and PREMA are the two simulated outcomes.
+	Planaria, PREMA *sim.Outcome
+}
+
+// tracedSystem runs one system under the named observer view and returns
+// its outcome.
+func tracedSystem(sys metrics.System, o *obs.Observer, reqs []workload.Request) (*sim.Outcome, error) {
+	pol := sys.NewPolicy()
+	if ob, ok := pol.(obs.Observable); ok {
+		ob.SetObserver(o)
+	}
+	node := &sim.Node{
+		Cfg:      sys.Cfg,
+		Policy:   pol,
+		Programs: sys.Programs,
+		Params:   sys.Params,
+		Trace:    &sim.Trace{},
+		Obs:      o,
+	}
+	out, err := node.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("traced %s run: %w", sys.Name, err)
+	}
+	if err := node.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("traced %s run: %w", sys.Name, err)
+	}
+	return out, nil
+}
+
+// TracedRun simulates one workload instance on both systems with full
+// observability attached: a shared metrics registry (series labeled
+// system=planaria / system=prema) and a shared timeline whose tracks are
+// prefixed per system. The run is deterministic — two identical
+// invocations produce byte-identical MetricsJSON and TraceJSON.
+func (s *Suite) TracedRun(sc workload.Scenario, lvl workload.QoSLevel, qps float64, requests int, seed int64) (*TracedResult, error) {
+	if requests <= 0 {
+		requests = 60
+	}
+	reqs, err := workload.Generate(sc, lvl, qps, requests, seed)
+	if err != nil {
+		return nil, err
+	}
+	root := obs.New()
+	res := &TracedResult{}
+	// The two systems run sequentially on derived observer views, so the
+	// shared artifact interleaves nothing and stays byte-stable.
+	if res.Planaria, err = tracedSystem(s.Planaria, root.Named("planaria"), reqs); err != nil {
+		return nil, err
+	}
+	if res.PREMA, err = tracedSystem(s.PREMA, root.Named("prema"), reqs); err != nil {
+		return nil, err
+	}
+	snap := root.Metrics.Snapshot()
+	if res.MetricsJSON, err = snap.JSON(); err != nil {
+		return nil, err
+	}
+	res.MetricsText = snap.Text()
+	res.TraceJSON = root.Trace.JSON()
+	return res, nil
+}

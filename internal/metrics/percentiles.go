@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"planaria/internal/obs"
 	"planaria/internal/workload"
 )
 
@@ -76,20 +77,21 @@ func GroupLatencies(reqs []workload.Request, latencies, finishes []float64) (map
 }
 
 // FormatLatencyTable renders per-model latency statistics in
-// milliseconds, sorted by model name.
+// milliseconds, sorted by model name — through the same aligned-table
+// renderer the observability snapshots use (obs.Table).
 func FormatLatencyTable(stats map[string]LatencyStats) string {
 	names := make([]string, 0, len(stats))
 	for n := range stats {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	s := fmt.Sprintf("%-16s %5s %9s %9s %9s %9s %7s\n",
-		"model", "n", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "miss")
+	t := obs.NewTable("model", "n", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "miss")
+	ms := func(v float64) string { return fmt.Sprintf("%.2f", v*1e3) }
 	for _, n := range names {
 		st := stats[n]
-		s += fmt.Sprintf("%-16s %5d %9.2f %9.2f %9.2f %9.2f %6.1f%%\n",
-			n, st.Count, st.P50*1e3, st.P90*1e3, st.P99*1e3, st.Max*1e3,
-			st.DeadlineMissRate*100)
+		t.Row(n, fmt.Sprintf("%d", st.Count),
+			ms(st.P50), ms(st.P90), ms(st.P99), ms(st.Max),
+			fmt.Sprintf("%.1f%%", st.DeadlineMissRate*100))
 	}
-	return s
+	return t.String()
 }

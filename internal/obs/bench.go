@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed `go test -bench` result line: the standard
+// ns/op, B/op, allocs/op quantities plus every custom metric the
+// benchmark reported via b.ReportMetric.
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkFig12Throughput-8 → BenchmarkFig12Throughput).
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the machine-readable benchmark artifact
+// (BENCH_serving.json): environment header plus results sorted by name.
+// No wall-clock timestamp is embedded — the artifact is a pure function
+// of the benchmark output, so identical runs diff clean.
+type BenchReport struct {
+	GOOS      string        `json:"goos,omitempty"`
+	GOARCH    string        `json:"goarch,omitempty"`
+	CPU       string        `json:"cpu,omitempty"`
+	Pkg       string        `json:"pkg,omitempty"`
+	BenchTime string        `json:"benchtime,omitempty"`
+	Results   []BenchResult `json:"results"`
+}
+
+// ParseBench parses the textual output of `go test -bench`. Header lines
+// (goos/goarch/pkg/cpu) populate the report; each Benchmark line becomes
+// one result. Unparseable lines are skipped — go test interleaves PASS/ok
+// and log output freely.
+func ParseBench(r io.Reader) (*BenchReport, error) {
+	rep := &BenchReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if ok {
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading benchmark output: %v", err)
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	return rep, nil
+}
+
+// parseBenchLine parses one `BenchmarkX-8 <n> <value> <unit> ...` line.
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return BenchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	res := BenchResult{Name: name, Iterations: iters}
+	// The remainder alternates <value> <unit>.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		case "MB/s":
+			// throughput is derivable from ns/op; keep it as a metric
+			fallthrough
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}
+
+// JSON encodes the report deterministically: struct field order is fixed,
+// results are sorted by name, and encoding/json emits map keys sorted.
+func (r *BenchReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

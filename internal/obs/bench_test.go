@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: planaria
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig12Throughput-8   	       1	52341234567 ns/op	        12.50 ratioA-S	         8.20 ratioB-S
+BenchmarkFig13SLA-8          	       1	  41234567 ns/op	        25.00 gainC-S-%
+BenchmarkGridRun/medium_128x16x16-8  	    2001	   1148901 ns/op	       163.0 cycles	  601242 B/op	     512 allocs/op
+PASS
+ok  	planaria	95.1s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "planaria" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+	// Sorted by name.
+	if rep.Results[0].Name != "BenchmarkFig12Throughput" ||
+		rep.Results[2].Name != "BenchmarkGridRun/medium_128x16x16" {
+		t.Fatalf("order: %q, %q, %q", rep.Results[0].Name, rep.Results[1].Name, rep.Results[2].Name)
+	}
+	r := rep.Results[0]
+	if r.Iterations != 1 || r.NsPerOp != 52341234567 {
+		t.Fatalf("fig12 = %+v", r)
+	}
+	if r.Metrics["ratioA-S"] != 12.5 || r.Metrics["ratioB-S"] != 8.2 {
+		t.Fatalf("fig12 metrics = %v", r.Metrics)
+	}
+	g := rep.Results[2]
+	if g.BytesPerOp != 601242 || g.AllocsOp != 512 || g.Metrics["cycles"] != 163 {
+		t.Fatalf("gridrun = %+v", g)
+	}
+}
+
+func TestBenchJSONDeterministic(t *testing.T) {
+	parse := func() string {
+		rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.BenchTime = "1x"
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := parse(), parse()
+	if a != b {
+		t.Fatal("bench JSON differs between identical parses")
+	}
+	if !strings.Contains(a, `"ns_per_op"`) || !strings.Contains(a, `"ratioA-S"`) {
+		t.Fatalf("bench JSON missing fields:\n%s", a)
+	}
+	if strings.Contains(a, "time") && strings.Contains(a, "stamp") {
+		t.Fatal("bench JSON must not embed a wall-clock timestamp")
+	}
+}
+
+func TestParseBenchSkipsGarbage(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader("Benchmark\nBenchmarkX notanumber\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("garbage parsed into %d results", len(rep.Results))
+	}
+}

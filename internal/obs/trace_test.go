@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildTimeline() *TraceBuilder {
+	tb := NewTraceBuilder(1e6) // seconds → µs
+	tb.Span("task 000", "req 0 ResNet-50", 0, 0.010, Str("model", "ResNet-50"), Num("priority", 5))
+	tb.Counter("chip", "subarrays", 0, 16)
+	tb.Counter("chip", "subarrays", 0.004, 12)
+	tb.Instant("sched", "preempt task 0", 0.004, Num("task", 0))
+	sub := tb.WithPrefix("prema/")
+	sub.Span("task 001", "req 1", 0.001, 0.02)
+	return tb
+}
+
+func TestTraceJSONIsValidAndDeterministic(t *testing.T) {
+	tb := buildTimeline()
+	raw := tb.JSON()
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, raw)
+	}
+	// Metadata: process name + 2 per track (name, sort index), 4 tracks.
+	var spans, counters, instants, meta int
+	var sawPrefixed bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name == "req 0 ResNet-50" {
+				if e.Ts != 0 || e.Dur != 10000 {
+					t.Errorf("span ts=%g dur=%g, want 0/10000 µs", e.Ts, e.Dur)
+				}
+				if e.Args["model"] != "ResNet-50" || e.Args["priority"] != 5.0 {
+					t.Errorf("span args = %v", e.Args)
+				}
+			}
+		case "C":
+			counters++
+			if !strings.Contains(e.Name, "chip:subarrays") {
+				t.Errorf("counter name %q not track-qualified", e.Name)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+			if name, _ := e.Args["name"].(string); strings.HasPrefix(name, "prema/") {
+				sawPrefixed = true
+			}
+		}
+	}
+	if spans != 2 || counters != 2 || instants != 1 {
+		t.Fatalf("spans=%d counters=%d instants=%d, want 2/2/1", spans, counters, instants)
+	}
+	if meta != 1+2*4 {
+		t.Fatalf("metadata events = %d, want 9 (process + 2×4 tracks)", meta)
+	}
+	if !sawPrefixed {
+		t.Fatal("WithPrefix track missing from thread metadata")
+	}
+	if string(buildTimeline().JSON()) != string(raw) {
+		t.Fatal("identical timelines encode differently")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tb *TraceBuilder
+	tb.Span("a", "b", 0, 1)
+	tb.Instant("a", "b", 0)
+	tb.Counter("a", "b", 0, 1)
+	if tb.WithPrefix("x/") != nil {
+		t.Fatal("nil.WithPrefix should stay nil")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("nil builder has events")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(tb.JSON(), &doc); err != nil {
+		t.Fatalf("nil builder export invalid: %v", err)
+	}
+}
+
+func TestSpanClampsReversedInterval(t *testing.T) {
+	tb := NewTraceBuilder(1)
+	tb.Span("t", "s", 5, 3)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb.JSON(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" && e["dur"] != 0.0 {
+			t.Fatalf("reversed span dur = %v, want 0", e["dur"])
+		}
+	}
+}

@@ -13,9 +13,11 @@
 package prema
 
 import (
+	"fmt"
 	"sort"
 
 	"planaria/internal/arch"
+	"planaria/internal/obs"
 	"planaria/internal/sim"
 )
 
@@ -32,6 +34,14 @@ type Token struct {
 
 	tokens map[int]float64
 	last   map[int]float64
+
+	// Observability probes (nil-safe no-ops when unset).
+	cDecisions *obs.Counter
+	cSwitches  *obs.Counter
+	gMaxToken  *obs.Gauge
+	tracer     *obs.TraceBuilder
+	dispatched int
+	haveDisp   bool
 }
 
 // NewToken returns the PREMA policy with the defaults used in the
@@ -48,6 +58,18 @@ func NewToken(cfg arch.Config) *Token {
 
 // Name implements sim.Policy.
 func (p *Token) Name() string { return "PREMA" }
+
+// SetObserver implements obs.Observable: decision counters, the
+// dispatch-switch count (temporal context switches), and the token
+// high-water mark land in the registry; dispatch switches also appear as
+// instants on the "prema" timeline track.
+func (p *Token) SetObserver(o *obs.Observer) {
+	reg := o.Registry()
+	p.cDecisions = reg.Counter("prema_decisions_total")
+	p.cSwitches = reg.Counter("prema_dispatch_switches_total")
+	p.gMaxToken = reg.Gauge("prema_max_token")
+	p.tracer = o.Tracer()
+}
 
 // Quantum implements sim.Policy.
 func (p *Token) Quantum() float64 { return p.SchedulingQuantum }
@@ -109,10 +131,26 @@ func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int 
 	if best == nil {
 		best = tasks[0]
 	}
+	p.cDecisions.Inc()
+	p.gMaxToken.Max(maxTok)
+	if !p.haveDisp || p.dispatched != best.ID {
+		if p.haveDisp {
+			p.cSwitches.Inc()
+			if p.tracer != nil {
+				p.tracer.Instant("prema", fmt.Sprintf("dispatch task %d", best.ID), now,
+					obs.Str("model", best.Req.Model),
+					obs.Num("token", p.tokens[best.ID]),
+					obs.Num("max_token", maxTok))
+			}
+		}
+		p.dispatched, p.haveDisp = best.ID, true
+	}
 	// The dispatched task's token resets, as in PREMA, so others catch up.
 	p.tokens[best.ID] = float64(best.Req.Priority)
 	return map[int]int{best.ID: total}
 }
+
+var _ obs.Observable = (*Token)(nil)
 
 var _ sim.Policy = (*Token)(nil)
 

@@ -8,9 +8,11 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"planaria/internal/arch"
+	"planaria/internal/obs"
 	"planaria/internal/sim"
 )
 
@@ -21,6 +23,12 @@ type Spatial struct {
 	// MinSlack floors the slack used in the unfit score so expired tasks
 	// score highest rather than dividing by zero or a negative.
 	MinSlack float64
+
+	// Observability probes (nil-safe no-ops when unset).
+	cDecisions *obs.Counter
+	cFit       *obs.Counter
+	cUnfit     *obs.Counter
+	tracer     *obs.TraceBuilder
 }
 
 // NewSpatial returns the policy for a hardware configuration.
@@ -30,6 +38,18 @@ func NewSpatial(cfg arch.Config) *Spatial {
 
 // Name implements sim.Policy.
 func (s *Spatial) Name() string { return "Planaria" }
+
+// SetObserver implements obs.Observable: every Allocate invocation counts
+// as a decision, split into fit (all minimal demands co-locate) and unfit
+// (admission competition) outcomes; each fission decision also lands as
+// an instant on the "sched" timeline track with the demand/capacity pair.
+func (s *Spatial) SetObserver(o *obs.Observer) {
+	reg := o.Registry()
+	s.cDecisions = reg.Counter("sched_decisions_total")
+	s.cFit = reg.Counter("sched_fit_total")
+	s.cUnfit = reg.Counter("sched_unfit_total")
+	s.tracer = o.Tracer()
+}
 
 // Quantum implements sim.Policy: the spatial scheduler is purely
 // event-driven (invoked on arrivals and completions), per §V.
@@ -68,8 +88,23 @@ func (s *Spatial) Allocate(now float64, tasks []*sim.Task, total int) map[int]in
 		estimates[t.ID] = e
 		sum += e
 	}
+	s.cDecisions.Inc()
 	if sum <= total {
+		s.cFit.Inc()
+		if s.tracer != nil {
+			s.tracer.Instant("sched", fmt.Sprintf("fission: fit %d tasks", len(tasks)), now,
+				obs.Num("tasks", float64(len(tasks))),
+				obs.Num("demand", float64(sum)),
+				obs.Num("subarrays", float64(total)))
+		}
 		return s.allocateFit(now, tasks, estimates, total)
+	}
+	s.cUnfit.Inc()
+	if s.tracer != nil {
+		s.tracer.Instant("sched", fmt.Sprintf("fission: unfit %d tasks", len(tasks)), now,
+			obs.Num("tasks", float64(len(tasks))),
+			obs.Num("demand", float64(sum)),
+			obs.Num("subarrays", float64(total)))
 	}
 	return s.allocateUnfit(now, tasks, estimates, total)
 }
@@ -208,6 +243,7 @@ func (s *Spatial) allocateUnfit(now float64, tasks []*sim.Task, estimates map[in
 }
 
 var _ sim.Policy = (*Spatial)(nil)
+var _ obs.Observable = (*Spatial)(nil)
 
 // Isolated returns the task's isolated execution time on the full chip,
 // used by the fairness metric.

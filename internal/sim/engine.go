@@ -8,6 +8,7 @@ import (
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/energy"
+	"planaria/internal/obs"
 	"planaria/internal/workload"
 )
 
@@ -52,8 +53,12 @@ type Node struct {
 	// Params are the energy constants.
 	Params energy.Params
 	// Trace, when non-nil, records the serving timeline (arrivals,
-	// allocation changes, completions).
+	// allocation changes, preemptions, queue samples, completions).
 	Trace *Trace
+	// Obs, when non-nil, receives metrics and timeline tracks on
+	// simulated time (request lifecycle spans, per-task allocation
+	// counters, queue occupancy). Nil costs only untaken branches.
+	Obs *obs.Observer
 	// PenaltyScale multiplies every re-allocation penalty (tile drain,
 	// checkpoint DMA, configuration load). 0 = free preemption, 1 =
 	// default; used by the reconfiguration-cost sensitivity ablation.
@@ -106,6 +111,18 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	}
 	var pp []ppEntry
 
+	// Observability handles: nil registry/tracer yields nil handles whose
+	// methods are no-ops, so the probes below cost only untaken branches
+	// when observability is off.
+	reg := n.Obs.Registry()
+	tracer := n.Obs.Tracer()
+	cRequests := reg.Counter("sim_requests_total")
+	cDone := reg.Counter("sim_completions_total")
+	cPreempt := reg.Counter("sim_preemptions_total")
+	cSched := reg.Counter("sim_sched_events_total")
+	gDepth := reg.Gauge("sim_queue_depth_max")
+	lastDepth, lastRunning := -1, -1
+
 	now := pending[0].Arrival
 	firstArrival := now
 	nextPending := 0
@@ -120,6 +137,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			}
 			tasks = append(tasks, &Task{ID: r.ID, Req: r, Prog: prog, Finish: -1})
 			n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+			cRequests.Inc()
 			nextPending++
 		}
 		return nil
@@ -148,20 +166,44 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		if err := validateAllocation(alloc, tasks, total); err != nil {
 			return nil, err
 		}
-		running := 0
+		cSched.Inc()
+		running, inUse := 0, 0
 		for _, t := range tasks {
 			na := alloc[t.ID]
 			if na != t.Alloc {
 				n.Trace.record(Event{Time: now, Kind: EvAlloc, Task: t.ID, Model: t.Req.Model, Alloc: na})
+				if t.Alloc > 0 && !t.Done() {
+					// A running task's allocation changed: a preemption
+					// (full, on PREMA's context switch; partial, on a
+					// Planaria re-fission).
+					n.Trace.record(Event{Time: now, Kind: EvPreempt, Task: t.ID, Model: t.Req.Model, Alloc: na})
+					cPreempt.Inc()
+					if tracer != nil {
+						tracer.Instant("sched", fmt.Sprintf("preempt task %d -> %d", t.ID, na), now,
+							obs.Str("model", t.Req.Model), obs.Num("subarrays", float64(na)))
+					}
+				}
+				if tracer != nil {
+					tracer.Counter(taskTrack(t.ID), "subarrays", now, float64(na))
+				}
 			}
 			t.applyRealloc(int64(na), n.Cfg, n.penaltyScale())
 			if t.Alloc > 0 {
 				running++
+				inUse += t.Alloc
 			}
 		}
 		if running == 0 {
 			return nil, fmt.Errorf("sim: policy %s stalled all %d tasks", n.Policy.Name(), len(tasks))
 		}
+		if lastDepth != len(tasks) || lastRunning != running {
+			lastDepth, lastRunning = len(tasks), running
+			n.Trace.record(Event{Time: now, Kind: EvQueue, Depth: lastDepth, Running: lastRunning})
+			gDepth.Max(float64(lastDepth))
+			tracer.Counter("queue", "inflight", now, float64(lastDepth))
+			tracer.Counter("queue", "running", now, float64(lastRunning))
+		}
+		tracer.Counter("chip", "subarrays_in_use", now, float64(inUse))
 
 		// Next event: earliest completion, next arrival, or quantum.
 		next := math.Inf(1)
@@ -205,8 +247,24 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			if t.Done() && t.PenaltyCycles <= 0 {
 				t.Finish = now
 				n.Trace.record(Event{Time: now, Kind: EvFinish, Task: t.ID, Model: t.Req.Model})
+				lat := now - t.Req.Arrival
+				cDone.Inc()
+				if reg != nil {
+					reg.Histogram("sim_latency_seconds", obs.DurationBuckets(),
+						obs.L("model", t.Req.Model)).Observe(lat)
+				}
+				if tracer != nil {
+					tracer.Span(taskTrack(t.ID), fmt.Sprintf("req %d %s", t.ID, t.Req.Model),
+						t.Req.Arrival, now,
+						obs.Str("model", t.Req.Model),
+						obs.Num("priority", float64(t.Req.Priority)),
+						obs.Num("latency_ms", lat*1e3),
+						obs.Num("deadline_ms", (t.Req.Deadline-t.Req.Arrival)*1e3),
+						obs.Num("preemptions", float64(t.Preemptions)))
+					tracer.Counter(taskTrack(t.ID), "subarrays", now, 0)
+				}
 				out.Finishes[index[t.Req.ID]] = now
-				out.Latency[index[t.Req.ID]] = now - t.Req.Arrival
+				out.Latency[index[t.Req.ID]] = lat
 				out.EnergyJ += t.EnergyJ
 				out.Preemptions += t.Preemptions
 				pp = appendPP(pp, n, t)
@@ -229,6 +287,12 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	out.Fairness = fairnessOf(pp, reqs)
 	out.MeetsSLA = workload.MeetsSLA(reqs, out.Finishes)
 	return out, nil
+}
+
+// taskTrack names one request's timeline track; zero-padded so Perfetto's
+// lexicographic track ordering matches request IDs.
+func taskTrack(id int) string {
+	return fmt.Sprintf("task %03d", id)
 }
 
 // ppEntry carries one finished task's normalized progress for fairness.

@@ -17,6 +17,15 @@ const (
 	EvAlloc
 	// EvFinish marks a request completing.
 	EvFinish
+	// EvPreempt marks a running task losing or changing its allocation
+	// while unfinished (Alloc = new subarray count; 0 = fully preempted).
+	// Both engines emit it: Planaria on spatial re-fission, PREMA on a
+	// temporal context switch.
+	EvPreempt
+	// EvQueue samples the scheduler's queue occupancy after a scheduling
+	// event: Depth dispatched-but-unfinished tasks, of which Running hold
+	// a non-zero allocation. Recorded only when the pair changes.
+	EvQueue
 )
 
 // String names the event kind.
@@ -28,6 +37,10 @@ func (k EventKind) String() string {
 		return "alloc"
 	case EvFinish:
 		return "finish"
+	case EvPreempt:
+		return "preempt"
+	case EvQueue:
+		return "queue"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -37,9 +50,12 @@ func (k EventKind) String() string {
 type Event struct {
 	Time  float64
 	Kind  EventKind
-	Task  int // request ID
+	Task  int // request ID (unused for EvQueue)
 	Model string
-	Alloc int // for EvAlloc
+	Alloc int // for EvAlloc and EvPreempt
+	// Depth and Running carry EvQueue's occupancy sample.
+	Depth   int
+	Running int
 }
 
 // Trace is a recorded serving timeline.
@@ -59,6 +75,9 @@ func (tr *Trace) record(e Event) {
 func (tr *Trace) TasksSeen() []int {
 	seen := map[int]bool{}
 	for _, e := range tr.Events {
+		if e.Kind == EvQueue {
+			continue // queue samples are not bound to a task
+		}
 		seen[e.Task] = true
 	}
 	ids := make([]int, 0, len(seen))
@@ -98,12 +117,16 @@ func (tr *Trace) Validate() error {
 				return fmt.Errorf("sim: task %d arrived twice", e.Task)
 			}
 			arrived[e.Task] = true
-		case EvAlloc:
+		case EvAlloc, EvPreempt:
 			if !arrived[e.Task] {
 				return fmt.Errorf("sim: task %d allocated before arrival", e.Task)
 			}
 			if finished[e.Task] {
 				return fmt.Errorf("sim: task %d allocated after finishing", e.Task)
+			}
+		case EvQueue:
+			if e.Depth < e.Running || e.Running < 0 {
+				return fmt.Errorf("sim: queue sample depth=%d running=%d at event %d", e.Depth, e.Running, i)
 			}
 		case EvFinish:
 			if !arrived[e.Task] {
@@ -123,11 +146,14 @@ func (tr *Trace) String() string {
 	var b strings.Builder
 	for _, e := range tr.Events {
 		switch e.Kind {
-		case EvAlloc:
-			fmt.Fprintf(&b, "%9.3f ms  %-6s task %-3d %-16s -> %d subarrays\n",
+		case EvAlloc, EvPreempt:
+			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s -> %d subarrays\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model, e.Alloc)
+		case EvQueue:
+			fmt.Fprintf(&b, "%9.3f ms  %-7s depth %d running %d\n",
+				e.Time*1e3, e.Kind, e.Depth, e.Running)
 		default:
-			fmt.Fprintf(&b, "%9.3f ms  %-6s task %-3d %-16s\n",
+			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model)
 		}
 	}

@@ -25,6 +25,8 @@ package systolic
 
 import (
 	"fmt"
+
+	"planaria/internal/obs"
 )
 
 // BoundaryDelay is the extra pipeline latency a token pays when crossing
@@ -113,6 +115,12 @@ type Grid struct {
 	mask    int64
 	cycle   int64
 	ran     bool
+
+	// Observability (nil = off, the hot loop pays one untaken branch per
+	// cycle): obsTB receives per-band occupancy spans and sampled token
+	// counters on the cycle timeline; obsSample is the sampling period.
+	obsTB     *obs.TraceBuilder
+	obsSample int64
 }
 
 // New creates a grid of bandsR×bandsC subarrays, each subR×subC PEs.
@@ -132,6 +140,20 @@ func New(subR, subC, bandsR, bandsC int) (*Grid, error) {
 		bandsR: bandsR, bandsC: bandsC,
 		owner: owner,
 	}, nil
+}
+
+// Observe attaches a timeline builder before Run. Timestamps are cycles
+// (pick the builder's scale accordingly, e.g. 1e6/freqHz for real-time
+// microseconds). Every sampleEvery cycles (min 1, default 64) the engine
+// records the number of token deliveries processed that cycle and the
+// outputs still pending; when Run completes, each cluster contributes one
+// occupancy span per claimed subarray band.
+func (g *Grid) Observe(tb *obs.TraceBuilder, sampleEvery int64) {
+	if sampleEvery <= 0 {
+		sampleEvery = 64
+	}
+	g.obsTB = tb
+	g.obsSample = sampleEvery
 }
 
 // AddCluster claims the spec's subarray bands for a new logical cluster
@@ -330,6 +352,10 @@ func (g *Grid) Run(maxCycles int64) (int64, error) {
 			init = g.initial[g.cycle]
 		}
 		inflight := g.buckets[slot]
+		if g.obsTB != nil && g.cycle%g.obsSample == 0 {
+			g.obsTB.Counter("grid", "deliveries", float64(g.cycle), float64(len(init)+len(inflight)))
+			g.obsTB.Counter("grid", "outputs_pending", float64(g.cycle), float64(remaining))
+		}
 		if len(init)+len(inflight) == 0 {
 			continue
 		}
@@ -480,6 +506,23 @@ func (g *Grid) Run(maxCycles int64) (int64, error) {
 	}
 	if remaining > 0 {
 		return g.cycle, fmt.Errorf("systolic: %d outputs still pending after %d cycles", remaining, maxCycles)
+	}
+	if g.obsTB != nil {
+		// Per-band occupancy: one span per claimed subarray band from the
+		// cluster's configuration (cycle 0) to its last drained output —
+		// the spatial co-location picture the fission architecture exists
+		// to create.
+		for id, cl := range g.clusters {
+			name := fmt.Sprintf("cluster %d: %dx%dx%d", id, cl.m, cl.k, cl.n)
+			for r := cl.spec.BandRow; r < cl.spec.BandRow+cl.spec.H; r++ {
+				for c := cl.spec.BandCol; c < cl.spec.BandCol+cl.spec.W; c++ {
+					g.obsTB.Span(fmt.Sprintf("band %d,%d", r, c), name,
+						0, float64(cl.lastOut+1),
+						obs.Num("cluster", float64(id)),
+						obs.Num("drain_cycle", float64(cl.lastOut)))
+				}
+			}
+		}
 	}
 	return g.cycle, nil
 }

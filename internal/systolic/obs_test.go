@@ -1,0 +1,99 @@
+package systolic
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"planaria/internal/obs"
+)
+
+// runObserved simulates two co-located clusters with a timeline attached
+// and returns the exported trace.
+func runObserved(t *testing.T) []byte {
+	t.Helper()
+	g, err := New(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := obs.NewTraceBuilder(1)
+	g.Observe(tb, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i, spec := range []ClusterSpec{{0, 0, 1, 2}, {1, 0, 1, 1}} {
+		wts := randMat(rng, 8, 8)
+		a := randMat(rng, 16+4*i, 8)
+		if _, err := g.AddCluster(spec, wts, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Run(1 << 14); err != nil {
+		t.Fatal(err)
+	}
+	return tb.JSON()
+}
+
+func TestGridObserverEmitsBandsAndSamples(t *testing.T) {
+	raw := runObserved(t)
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	bands := map[string]bool{}
+	counters := 0
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			if name, _ := e.Args["name"].(string); strings.HasPrefix(name, "band ") {
+				bands[name] = true
+			}
+		case e.Ph == "X":
+			if e.Dur <= 0 {
+				t.Errorf("band span %q has non-positive duration", e.Name)
+			}
+		case e.Ph == "C":
+			counters++
+		}
+	}
+	// Cluster 0 claims bands (0,0),(0,1); cluster 1 claims (1,0).
+	for _, want := range []string{"band 0,0", "band 0,1", "band 1,0"} {
+		if !bands[want] {
+			t.Errorf("missing occupancy track %q (have %v)", want, bands)
+		}
+	}
+	if bands["band 1,1"] {
+		t.Error("unclaimed band 1,1 has an occupancy track")
+	}
+	if counters == 0 {
+		t.Error("no sampled grid counters recorded")
+	}
+}
+
+func TestGridObserverDeterministic(t *testing.T) {
+	a, b := runObserved(t), runObserved(t)
+	if string(a) != string(b) {
+		t.Fatal("identical observed runs exported different trace bytes")
+	}
+}
+
+func TestGridObserverNilIsFree(t *testing.T) {
+	g, err := New(8, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Observe(nil, 0) // explicit nil: hot loop must tolerate it
+	rng := rand.New(rand.NewSource(5))
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 1}, randMat(rng, 4, 4), randMat(rng, 8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+}
