@@ -5,11 +5,17 @@
 //	planaria [flags] <experiment>...
 //
 // Experiments: table1, table2, fig12, fig13, fig14, fig15, fig16, fig17,
-// fig18, fig19, ablation, models, trace, all.
+// fig18, fig19, ablation, models, trace, chaos, all.
 //
 // The trace experiment runs one instrumented co-location instance on both
 // systems and writes a Perfetto-loadable timeline (-trace-out) and a
 // metrics snapshot (-metrics-out); open the timeline at ui.perfetto.dev.
+//
+// The chaos experiment sweeps fault-injection rates (-fault-rates) or
+// replays a JSON fault schedule (-faults, see examples/chaos/faults.json)
+// and compares SLA retention under Planaria's fission masking + load
+// shedding (-shed) against PREMA's monolithic derate. -chaos-out writes
+// the deterministic BENCH_chaos.json artifact.
 //
 // Flags tune simulation fidelity; the defaults match EXPERIMENTS.md.
 // Profiling flags (-cpuprofile, -memprofile, -phasestats) live here in
@@ -23,12 +29,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"planaria/internal/dnn"
 	"planaria/internal/experiments"
+	"planaria/internal/fault"
 	"planaria/internal/metrics"
+	"planaria/internal/sim"
 	"planaria/internal/workload"
 )
 
@@ -100,12 +109,16 @@ func run() int {
 	qosName := flag.String("qos", "M", "QoS level for trace (S, M, or H)")
 	traceOut := flag.String("trace-out", "", "write the trace experiment's Perfetto timeline JSON to this file")
 	metricsOut := flag.String("metrics-out", "", "write the trace experiment's metrics snapshot JSON to this file")
+	faultsFile := flag.String("faults", "", "JSON fault schedule to replay in the chaos experiment (overrides -fault-rates)")
+	faultRates := flag.String("fault-rates", "", "comma-separated fault rates (faults/s) for the chaos sweep (default 0,10,40,160)")
+	shedName := flag.String("shed", "doomed", "Planaria admission-control policy for chaos (none, doomed, or priority)")
+	chaosOut := flag.String("chaos-out", "", "write the chaos experiment's BENCH_chaos.json artifact to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	phasestats := flag.Bool("phasestats", false, "report per-phase wall-clock and allocations on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: planaria [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -270,6 +283,12 @@ func run() int {
 		}
 		phases.mark("trace")
 	}
+	if want["chaos"] {
+		if err := runChaos(suite, *scenario, *qosName, *faultsFile, *faultRates, *shedName, *chaosOut, *requests, *instances, *seed); err != nil {
+			return fail(err)
+		}
+		phases.mark("chaos")
+	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
 	return 0
 }
@@ -304,6 +323,75 @@ func runTrace(suite *experiments.Suite, scenario, qosName string, rate float64, 
 	}
 	fmt.Println()
 	fmt.Println(res.MetricsText)
+	return nil
+}
+
+// parseRates decodes a -fault-rates list ("0,10,40").
+func parseRates(spec string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad fault rate %q (want a non-negative number)", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-fault-rates %q names no rates", spec)
+	}
+	return rates, nil
+}
+
+// runChaos executes the fault-injection sweep (or a single replayed
+// schedule) and prints the comparison table.
+func runChaos(suite *experiments.Suite, scenario, qosName, faultsFile, rateSpec, shedName, chaosOut string, requests, instances int, seed int64) error {
+	sc, err := scenarioByName(scenario)
+	if err != nil {
+		return err
+	}
+	lvl, err := qosByName(qosName)
+	if err != nil {
+		return err
+	}
+	o := experiments.DefaultChaosOptions()
+	o.Scenario, o.Level = sc, lvl
+	o.Opt = metrics.Options{Requests: requests, Instances: instances, Seed: seed}
+	if o.Shed, err = sim.ParseShedPolicy(shedName); err != nil {
+		return err
+	}
+	if rateSpec != "" {
+		if o.Rates, err = parseRates(rateSpec); err != nil {
+			return err
+		}
+	}
+	if faultsFile != "" {
+		data, err := os.ReadFile(faultsFile)
+		if err != nil {
+			return err
+		}
+		if o.Schedule, err = fault.ParseJSON(data); err != nil {
+			return fmt.Errorf("%s: %w", faultsFile, err)
+		}
+	}
+	rows, err := suite.ChaosSweep(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatChaos(o, rows))
+	if chaosOut != "" {
+		j, err := experiments.ChaosJSON(o, rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chaosOut, j, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: %s (%d bytes)\n", chaosOut, len(j))
+	}
 	return nil
 }
 

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"planaria/internal/fault"
+)
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("0, 10,40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 10, 40}
+	if len(got) != len(want) {
+		t.Fatalf("parseRates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseRates = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-3", "1;2"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultsFlagParseError: a malformed -faults file must surface a
+// parse error naming the offending construct, not a silent permanent
+// fault (the schedule DSL rejects unknown fields for exactly this
+// reason).
+func TestFaultsFlagParseError(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	// "dur_ms" is the canonical typo for "for_ms".
+	if err := os.WriteFile(bad, []byte(`{"units":16,"pods":4,"events":[{"at_ms":5,"kind":"subarray","unit":3,"dur_ms":4}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fault.ParseJSON(data); err == nil || !strings.Contains(err.Error(), "dur_ms") {
+		t.Fatalf("bad schedule parsed without naming the typo: %v", err)
+	}
+	// The example schedule shipped in examples/ must stay valid.
+	good, err := os.ReadFile("../../examples/chaos/faults.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fault.ParseJSON(good)
+	if err != nil {
+		t.Fatalf("examples/chaos/faults.json: %v", err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("example schedule is empty")
+	}
+}

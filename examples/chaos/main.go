@@ -1,0 +1,45 @@
+// Chaos: replay a hand-written fault schedule (faults.json, the same DSL
+// cmd/planaria's -faults flag reads) against both systems and print how
+// much SLA each retains. Planaria masks the faulty subarrays out of the
+// fission space and sheds doomed requests; PREMA's monolithic array
+// derates and loses whatever was running when a fault lands.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	"planaria/internal/experiments"
+	"planaria/internal/fault"
+	"planaria/internal/metrics"
+	"planaria/internal/sim"
+	"planaria/internal/workload"
+)
+
+//go:embed faults.json
+var scheduleJSON []byte
+
+func main() {
+	sched, err := fault.ParseJSON(scheduleJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule: %d events over %d subarrays / %d pods\n\n",
+		len(sched.Events), sched.Units, sched.Pods)
+
+	suite, err := experiments.NewSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := experiments.DefaultChaosOptions()
+	o.Scenario = workload.ScenarioA()
+	o.Schedule = sched
+	o.Shed = sim.ShedDoomed
+	o.Opt = metrics.Options{Requests: 60, Instances: 2, Seed: 11}
+	rows, err := suite.ChaosSweep(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatChaos(o, rows))
+}

@@ -111,6 +111,10 @@ var DeterministicPackages = map[string]bool{
 	"model":       true,
 	"compiler":    true,
 	"experiments": true,
+	// Fault schedules are part of the reproducibility surface: a chaos
+	// sweep at a fixed seed must inject the exact same faults at the
+	// exact same simulated instants on every run.
+	"fault": true,
 	// The observability layer must itself be deterministic: its snapshots
 	// and trace exports are compared byte-for-byte run-to-run, so a wall
 	// clock or map-ordered encoder inside internal/obs is a contract

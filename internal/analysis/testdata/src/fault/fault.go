@@ -1,0 +1,26 @@
+// Package fault is a noclock fixture: the fault-injection layer is a
+// deterministic package — schedules must come from seeds or files, never
+// from the wall clock or the process-wide RNG.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClockSchedule stamps faults off the wall clock.
+func WallClockSchedule() float64 {
+	return float64(time.Now().UnixNano()) * 1e-9 // want `time\.Now in deterministic package "fault"`
+}
+
+// GlobalRandOutage draws an outage from the process-wide generator.
+func GlobalRandOutage() float64 {
+	return rand.ExpFloat64() // want `global math/rand\.ExpFloat64`
+}
+
+// SeededSchedule is the sanctioned pattern: fault instants derive from a
+// caller-provided seed.
+func SeededSchedule(seed int64, rate float64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.ExpFloat64() / rate
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The on-disk fault-schedule format (cmd/planaria -faults) is a small
+// JSON DSL; times are milliseconds for hand-editability:
+//
+//	{
+//	  "units": 16,
+//	  "pods": 4,
+//	  "events": [
+//	    {"at_ms": 5,  "kind": "subarray", "unit": 3},
+//	    {"at_ms": 8,  "kind": "pe",   "unit": 7, "row": 12, "col": 3, "for_ms": 4},
+//	    {"at_ms": 12, "kind": "link", "unit": 1}
+//	  ]
+//	}
+//
+// "for_ms" makes the fault transient (repairs after that outage);
+// omitting it makes the fault permanent. Unknown fields are rejected so
+// a typo ("dur_ms") cannot silently produce a permanent fault.
+
+type fileEvent struct {
+	AtMS  float64 `json:"at_ms"`
+	Kind  string  `json:"kind"`
+	Unit  int     `json:"unit"`
+	Row   int     `json:"row,omitempty"`
+	Col   int     `json:"col,omitempty"`
+	ForMS float64 `json:"for_ms,omitempty"`
+}
+
+type fileSchedule struct {
+	Units  int         `json:"units"`
+	Pods   int         `json:"pods"`
+	Events []fileEvent `json:"events"`
+}
+
+// kindByName maps the DSL vocabulary to Kind.
+func kindByName(name string) (Kind, error) {
+	switch name {
+	case "pe":
+		return KindPE, nil
+	case "subarray":
+		return KindSubarray, nil
+	case "link":
+		return KindLink, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown kind %q (want pe, subarray, or link)", name)
+	}
+}
+
+// ParseJSON decodes and validates a fault schedule file.
+func ParseJSON(data []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f fileSchedule
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	s := &Schedule{Units: f.Units, Pods: f.Pods, Events: make([]Event, 0, len(f.Events))}
+	for i, fe := range f.Events {
+		k, err := kindByName(fe.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("fault: event %d: %w", i, err)
+		}
+		s.Events = append(s.Events, Event{
+			Time:     fe.AtMS * 1e-3,
+			Kind:     k,
+			Unit:     fe.Unit,
+			Row:      fe.Row,
+			Col:      fe.Col,
+			Duration: fe.ForMS * 1e-3,
+		})
+	}
+	sortEvents(s.Events)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MarshalJSON renders the schedule back into the file DSL (times in
+// milliseconds), for round-trip tests and artifact dumps.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	f := fileSchedule{Units: s.Units, Pods: s.Pods, Events: make([]fileEvent, 0, len(s.Events))}
+	for _, e := range s.Events {
+		f.Events = append(f.Events, fileEvent{
+			AtMS: e.Time * 1e3, Kind: e.Kind.String(),
+			Unit: e.Unit, Row: e.Row, Col: e.Col, ForMS: e.Duration * 1e3,
+		})
+	}
+	return json.Marshal(f)
+}

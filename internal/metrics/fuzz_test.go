@@ -47,8 +47,8 @@ func FuzzPercentiles(f *testing.F) {
 		got := Percentile(sorted, p) // must not panic for any input
 
 		if len(vals) == 0 {
-			if got != 0 {
-				t.Fatalf("Percentile(empty, %v) = %v, want 0", p, got)
+			if !math.IsNaN(got) {
+				t.Fatalf("Percentile(empty, %v) = %v, want NaN", p, got)
 			}
 			return
 		}

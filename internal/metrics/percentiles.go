@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"planaria/internal/obs"
@@ -20,10 +21,12 @@ type LatencyStats struct {
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted data using
-// nearest-rank.
+// nearest-rank. An empty input has no quantiles: the result is NaN, so
+// a missing group renders as NaN in a latency table instead of posing
+// as a genuine 0ms measurement.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		return 0
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

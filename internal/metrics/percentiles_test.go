@@ -23,8 +23,18 @@ func TestPercentileBasics(t *testing.T) {
 			t.Errorf("P%.0f = %g, want %g", c.p*100, got, c.want)
 		}
 	}
-	if Percentile(nil, 0.5) != 0 {
-		t.Error("empty percentile should be 0")
+}
+
+// TestPercentileEmptyIsNaN: an empty group has no quantiles — the result
+// must be NaN (visibly "no data"), never a fake 0ms measurement.
+func TestPercentileEmptyIsNaN(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1, math.NaN()} {
+		if got := Percentile(nil, p); !math.IsNaN(got) {
+			t.Errorf("Percentile(nil, %v) = %v, want NaN", p, got)
+		}
+		if got := Percentile([]float64{}, p); !math.IsNaN(got) {
+			t.Errorf("Percentile([], %v) = %v, want NaN", p, got)
+		}
 	}
 }
 

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/systolic"
+)
+
+// TestModelMatchesMaskedFunctionalSimulator extends the cross-validation
+// to a degraded chip: a grid with an injected dead subarray, re-fissioned
+// around the mask, must still match the analytical model cycle-for-cycle
+// on the surviving bands — fault masking changes where clusters land,
+// never what or how fast they compute.
+func TestModelMatchesMaskedFunctionalSimulator(t *testing.T) {
+	cfg := arch.Planaria()
+	cfg.SubRows, cfg.SubCols = 8, 8
+	cfg.ArrayRows, cfg.ArrayCols = 32, 32 // 4×4 bands of 8×8 PEs
+	rng := rand.New(rand.NewSource(99))
+
+	cases := []struct {
+		bandRow, bandCol int // surviving placement
+		h, w, m, k, n    int
+	}{
+		{0, 1, 1, 1, 12, 8, 8},
+		{1, 0, 1, 2, 9, 8, 16},
+		{2, 0, 2, 2, 20, 16, 16},
+	}
+	for _, c := range cases {
+		sh := arch.Shape{Clusters: 1, H: c.h, W: c.w}
+		res := GEMMOnShape(c.m, c.k, c.n, 1, 1, sh, cfg, cfg.NumSubarrays())
+		if res.Tiles != 1 {
+			t.Fatalf("%+v: model used %d tiles, cross-validation needs 1", c, res.Tiles)
+		}
+
+		g, err := systolic.New(cfg.SubRows, cfg.SubCols, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A dead PE in band (0,0) masks that subarray; the cluster is
+		// re-fissioned onto the case's surviving bands.
+		if err := g.InjectPEFault(3, 3); err != nil {
+			t.Fatal(err)
+		}
+		if g.BandUsable(0, 0) {
+			t.Fatal("band (0,0) usable after PE fault")
+		}
+
+		wts := make([][]int8, c.k)
+		for i := range wts {
+			wts[i] = make([]int8, c.n)
+			for j := range wts[i] {
+				wts[i][j] = int8(rng.Intn(256) - 128)
+			}
+		}
+		a := make([][]int8, c.m)
+		for i := range a {
+			a[i] = make([]int8, c.k)
+			for j := range a[i] {
+				a[i][j] = int8(rng.Intn(256) - 128)
+			}
+		}
+		id, err := g.AddClusterStreamLoad(systolic.ClusterSpec{BandRow: c.bandRow, BandCol: c.bandCol, H: c.h, W: c.w}, wts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(int64(10 * (c.m + c.k + c.n + 64))); err != nil {
+			t.Fatal(err)
+		}
+		drain, err := g.DrainCycle(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		functional := drain + 1
+
+		want := functional + tileOverheadCycles
+		if res.Cycles != want {
+			t.Errorf("%+v: model %d cycles, masked functional %d (+%d overhead = %d)",
+				c, res.Cycles, functional, tileOverheadCycles, want)
+		}
+
+		// And the degraded grid's results stay bit-exact.
+		got, err := g.Output(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := systolic.Reference(a, wts)
+		for i := range ref {
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("%+v: out[%d][%d] = %d, want %d", c, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}

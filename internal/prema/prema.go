@@ -35,6 +35,15 @@ type Token struct {
 	tokens map[int]float64
 	last   map[int]float64
 
+	// health is the physical chip's fault mask (empty = untracked). The
+	// monolithic array cannot re-fission around dead subarrays, so its
+	// only degradation is a uniform throughput derate by the alive
+	// fraction — which the serving engine applies (sim.FaultDerate).
+	// PREMA's shortest-estimated-job-first ordering is invariant under a
+	// uniform derate, so the mask only rescales the absolute estimates
+	// reported to observability.
+	health arch.HealthMask
+
 	// Observability probes (nil-safe no-ops when unset).
 	cDecisions *obs.Counter
 	cSwitches  *obs.Counter
@@ -73,6 +82,20 @@ func (p *Token) SetObserver(o *obs.Observer) {
 
 // Quantum implements sim.Policy.
 func (p *Token) Quantum() float64 { return p.SchedulingQuantum }
+
+// SetHealth implements sim.HealthAware.
+func (p *Token) SetHealth(mask arch.HealthMask) { p.health = mask }
+
+// EffectiveRemaining rescales a task's remaining time by the degraded
+// chip's throughput: the monolithic array runs at the alive fraction of
+// its nominal rate.
+func (p *Token) EffectiveRemaining(t *sim.Task, total int) float64 {
+	rem := p.Cfg.Seconds(t.RemainingCycles(total))
+	if f := p.health.Fraction(); f > 0 && f < 1 {
+		rem /= f
+	}
+	return rem
+}
 
 // Allocate implements sim.Policy: exactly one task owns the whole
 // monolithic accelerator at a time.
@@ -153,6 +176,8 @@ func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int 
 var _ obs.Observable = (*Token)(nil)
 
 var _ sim.Policy = (*Token)(nil)
+
+var _ sim.HealthAware = (*Token)(nil)
 
 // Isolated returns the task's isolated execution time on the monolithic
 // accelerator, used by the fairness metric.

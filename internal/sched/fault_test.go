@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+
+	"planaria/internal/arch"
+	"planaria/internal/sim"
+)
+
+// checkAllocation asserts the policy contract: no negative allocations
+// and a sum within the available total.
+func checkAllocation(t *testing.T, alloc map[int]int, total int) {
+	t.Helper()
+	sum := 0
+	for id, a := range alloc {
+		if a < 0 {
+			t.Fatalf("task %d allocated %d subarrays", id, a)
+		}
+		sum += a
+	}
+	if sum > total {
+		t.Fatalf("allocated %d of %d subarrays", sum, total)
+	}
+}
+
+// TestAllocateZeroTotal: a fully-masked chip (zero alive subarrays)
+// yields an all-zero allocation rather than a panic or over-allocation.
+func TestAllocateZeroTotal(t *testing.T) {
+	cfg := arch.Planaria()
+	p := toyProg(t, cfg)
+	s := NewSpatial(cfg)
+	tasks := []*sim.Task{mkTask(t, 0, p, 1e-6, 5), mkTask(t, 1, p, 1e-6, 3)}
+	alloc := s.Allocate(0, tasks, 0)
+	checkAllocation(t, alloc, 0)
+	for id, a := range alloc {
+		if a != 0 {
+			t.Fatalf("task %d allocated %d subarrays of a dead chip", id, a)
+		}
+	}
+}
+
+// TestAllocateUnfitAllTasksUnfit: every task demands the whole chip
+// (impossible slack); the admission competition must stay within the
+// total and keep the chip busy.
+func TestAllocateUnfitAllTasksUnfit(t *testing.T) {
+	cfg := arch.Planaria()
+	p := toyProg(t, cfg)
+	s := NewSpatial(cfg)
+	tasks := []*sim.Task{
+		mkTask(t, 0, p, 1e-9, 5),
+		mkTask(t, 1, p, 1e-9, 3),
+		mkTask(t, 2, p, 1e-9, 9),
+	}
+	total := 16
+	alloc := s.Allocate(0, tasks, total)
+	checkAllocation(t, alloc, total)
+	used := 0
+	for _, a := range alloc {
+		used += a
+	}
+	if used != total {
+		t.Fatalf("unfit competition left the chip %d/%d used", used, total)
+	}
+}
+
+// TestAllocateUnfitEstimateExceedsTotal drives allocateUnfit directly
+// with a demand larger than the chip — the partial-admission branch must
+// clamp to what exists, never go negative or over-allocate.
+func TestAllocateUnfitEstimateExceedsTotal(t *testing.T) {
+	cfg := arch.Planaria()
+	p := toyProg(t, cfg)
+	s := NewSpatial(cfg)
+	tasks := []*sim.Task{mkTask(t, 0, p, 1e-3, 5), mkTask(t, 1, p, 1e-3, 3)}
+	estimates := map[int]int{0: 40, 1: 25} // both far beyond the chip
+	for _, total := range []int{16, 5, 1} {
+		alloc := s.allocateUnfit(0, tasks, estimates, total)
+		checkAllocation(t, alloc, total)
+		used := 0
+		for _, a := range alloc {
+			used += a
+		}
+		if used != total {
+			t.Fatalf("total %d: oversized demands left %d/%d used", total, used, total)
+		}
+	}
+}
+
+// TestHealthCapBoundsEstimates: with a fault mask whose longest alive
+// run is 4 subarrays, the conservative chaining model must not demand
+// more than 4 even for impossible slack.
+func TestHealthCapBoundsEstimates(t *testing.T) {
+	cfg := arch.Planaria()
+	p := toyProg(t, cfg)
+	s := NewSpatial(cfg)
+	usable := make([]bool, 16)
+	for i := 0; i < 4; i++ {
+		usable[i] = true // one alive run of 4; the rest dead
+	}
+	s.SetHealth(arch.HealthMask{Usable: usable})
+	tight := mkTask(t, 0, p, 1e-9, 5)
+	if got := s.EstimateResources(tight, 0, 4); got != 4 {
+		t.Errorf("impossible slack under mask: estimate %d, want 4 (longest run)", got)
+	}
+	// Predictions beyond the run cap at the run's table entry.
+	if s.predictTime(tight, 16) != s.predictTime(tight, 4) {
+		t.Error("prediction beyond the chainable run not capped")
+	}
+	// Clearing the mask restores full-chip predictions.
+	s.SetHealth(arch.HealthMask{})
+	if s.predictTime(tight, 16) >= s.predictTime(tight, 4) {
+		t.Error("untracked mask still capping predictions")
+	}
+	alloc := s.Allocate(0, []*sim.Task{tight}, 16)
+	checkAllocation(t, alloc, 16)
+}

@@ -24,6 +24,14 @@ type Spatial struct {
 	// score highest rather than dividing by zero or a negative.
 	MinSlack float64
 
+	// health is the chip's current fault mask (empty = untracked). The
+	// scheduler only considers alive configurations: the engine passes
+	// the alive subarray count as total, and predictions for allocations
+	// wider than the longest chainable run cap at that run — the
+	// conservative assumption that one task's chained cluster must land
+	// on contiguous alive subarrays (see DESIGN.md §10).
+	health arch.HealthMask
+
 	// Observability probes (nil-safe no-ops when unset).
 	cDecisions *obs.Counter
 	cFit       *obs.Counter
@@ -55,11 +63,28 @@ func (s *Spatial) SetObserver(o *obs.Observer) {
 // event-driven (invoked on arrivals and completions), per §V.
 func (s *Spatial) Quantum() float64 { return 0 }
 
+// SetHealth implements sim.HealthAware: the engine pushes the fault
+// injector's mask here whenever a transition changes it.
+func (s *Spatial) SetHealth(mask arch.HealthMask) { s.health = mask }
+
+// chainCap bounds a prediction's useful allocation: with a tracked
+// health mask, subarrays beyond the longest contiguous alive run buy no
+// speedup under the conservative single-run chaining model.
+func (s *Spatial) chainCap(alloc int) int {
+	if len(s.health.Usable) == 0 {
+		return alloc
+	}
+	if c := s.health.MaxChainable(); c > 0 && c < alloc {
+		return c
+	}
+	return alloc
+}
+
 // predictTime is Algorithm 1's PREDICTTIME: a configuration-table lookup
 // of the task's remaining cycles at a candidate allocation, converted to
 // seconds (the task monitor keeps the progress used by RemainingCycles).
 func (s *Spatial) predictTime(t *sim.Task, alloc int) float64 {
-	return s.Cfg.Seconds(t.RemainingCycles(alloc))
+	return s.Cfg.Seconds(t.RemainingCycles(s.chainCap(alloc)))
 }
 
 // EstimateResources is Algorithm 1's ESTIMATERESOURCES: the minimum
@@ -73,7 +98,10 @@ func (s *Spatial) EstimateResources(t *sim.Task, now float64, total int) int {
 			return n
 		}
 	}
-	return total
+	// Nothing meets the deadline: finish as soon as possible. Under a
+	// tracked fault mask, subarrays beyond the longest chainable run buy
+	// nothing, so demand only that much.
+	return s.chainCap(total)
 }
 
 // Allocate is Algorithm 1's SCHEDULETASKSSPATIALLY.
@@ -244,6 +272,7 @@ func (s *Spatial) allocateUnfit(now float64, tasks []*sim.Task, estimates map[in
 
 var _ sim.Policy = (*Spatial)(nil)
 var _ obs.Observable = (*Spatial)(nil)
+var _ sim.HealthAware = (*Spatial)(nil)
 
 // Isolated returns the task's isolated execution time on the full chip,
 // used by the fairness metric.

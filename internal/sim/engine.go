@@ -8,6 +8,7 @@ import (
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/energy"
+	"planaria/internal/fault"
 	"planaria/internal/obs"
 	"planaria/internal/workload"
 )
@@ -22,8 +23,9 @@ const configLoadCycles = 500
 // Outcome aggregates one simulated workload instance.
 type Outcome struct {
 	// Finishes[i] is the completion time of the i-th request of the
-	// slice passed to Run (-1 if unfinished — cannot happen when Run
-	// returns nil error, but kept for metrics symmetry).
+	// slice passed to Run (-1 if the request never completed: shed by
+	// admission control, rejected for an unknown model, or dropped after
+	// exhausting its fault-retry budget).
 	Finishes []float64
 	// Latency[i] = Finishes[i] − Arrival[i].
 	Latency []float64
@@ -42,6 +44,24 @@ type Outcome struct {
 	Preemptions int
 	// MeetsSLA reports the MLPerf server criterion over this instance.
 	MeetsSLA bool
+
+	// Fault-injection and degradation tallies (all zero when the node has
+	// no injector and shedding is off). Requests that are shed, rejected,
+	// or dropped keep Finishes[i] = -1 and count against the SLA.
+	//
+	// Killed counts fault-induced task kills; Retries counts the subset
+	// re-enqueued after backoff (a kill past MaxAttempts sheds instead).
+	Killed  int
+	Retries int
+	// Shed counts admission-control declines plus retry-budget
+	// exhaustions.
+	Shed int
+	// Rejected counts requests for models the node has no program for
+	// (non-strict mode only).
+	Rejected int
+	// FaultEvents counts fault transitions (landings and repairs)
+	// applied during the run.
+	FaultEvents int
 }
 
 // Node simulates one accelerator under a scheduling policy.
@@ -64,6 +84,28 @@ type Node struct {
 	// default; used by the reconfiguration-cost sensitivity ablation.
 	// Zero value means 1.
 	PenaltyScale float64
+
+	// Faults, when non-nil, replays a deterministic fault schedule
+	// against the node: transitions are applied exactly at their
+	// simulated instants, victims are killed and re-enqueued with capped
+	// exponential backoff, and capacity/throughput degrade per FaultMode.
+	// Nil keeps the fault-free paths bit-identical to a node without any
+	// fault machinery.
+	Faults *fault.Injector
+	// FaultMode selects fission masking (Planaria) or monolithic
+	// derating (PREMA baseline). Meaningful only with Faults set.
+	FaultMode FaultMode
+	// Shed selects the admission-control policy (default ShedNone).
+	Shed ShedPolicy
+	// Strict restores the original all-or-nothing behavior for unknown
+	// models: Run fails instead of rejecting the single request.
+	Strict bool
+	// RetryBase and RetryCap bound the kill-retry backoff in simulated
+	// seconds (zero values mean 200 µs and 5 ms). MaxAttempts caps how
+	// often one request may be killed before it is shed; 0 = unlimited.
+	RetryBase   float64
+	RetryCap    float64
+	MaxAttempts int
 }
 
 // penaltyScale returns the effective multiplier.
@@ -88,6 +130,10 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		return nil, fmt.Errorf("sim: no requests")
 	}
 	total := n.Cfg.NumSubarrays()
+	if n.Faults != nil && n.FaultMode == FaultFission && n.Faults.Health().Units() != total {
+		return nil, fmt.Errorf("sim: fault schedule has %d units, fission config has %d subarrays",
+			n.Faults.Health().Units(), total)
+	}
 
 	index := make(map[int]int, len(reqs))
 	for i, r := range reqs {
@@ -120,6 +166,12 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	cDone := reg.Counter("sim_completions_total")
 	cPreempt := reg.Counter("sim_preemptions_total")
 	cSched := reg.Counter("sim_sched_events_total")
+	cKills := reg.Counter("sim_kills_total")
+	cRetries := reg.Counter("sim_retries_total")
+	cSheds := reg.Counter("sim_sheds_total")
+	cRejects := reg.Counter("sim_rejects_total")
+	cFaults := reg.Counter("fault_events_total")
+	gAlive := reg.Gauge("fault_alive_subarrays")
 	gDepth := reg.Gauge("sim_queue_depth_max")
 	lastDepth, lastRunning := -1, -1
 
@@ -128,42 +180,200 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	nextPending := 0
 	const maxIter = 10_000_000
 
+	var retryQ []retryEntry
+
 	admit := func() error {
 		for nextPending < len(pending) && pending[nextPending].Arrival <= now+1e-12 {
 			r := pending[nextPending]
+			nextPending++
 			prog, ok := n.Programs[r.Model]
 			if !ok {
-				return fmt.Errorf("sim: no program for model %q", r.Model)
+				if n.Strict {
+					return fmt.Errorf("sim: no program for model %q", r.Model)
+				}
+				n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+				n.Trace.record(Event{Time: r.Arrival, Kind: EvReject, Task: r.ID, Model: r.Model})
+				cRequests.Inc()
+				cRejects.Inc()
+				out.Rejected++
+				continue
 			}
-			tasks = append(tasks, &Task{ID: r.ID, Req: r, Prog: prog, Finish: -1})
 			n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
 			cRequests.Inc()
-			nextPending++
+			if n.shouldShed(now, prog, r, total, len(tasks)) {
+				n.Trace.record(Event{Time: now, Kind: EvShed, Task: r.ID, Model: r.Model})
+				cSheds.Inc()
+				out.Shed++
+				continue
+			}
+			tasks = append(tasks, &Task{ID: r.ID, Req: r, Prog: prog, Finish: -1})
+		}
+		// Killed tasks whose backoff has elapsed rejoin the queue; a task
+		// whose prospects died with the chip's capacity is shed here.
+		for len(retryQ) > 0 && retryQ[0].at <= now+1e-12 {
+			e := retryQ[0]
+			retryQ = retryQ[1:]
+			if n.shouldShed(now, e.t.Prog, e.t.Req, total, len(tasks)) {
+				n.Trace.record(Event{Time: now, Kind: EvShed, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+				cSheds.Inc()
+				out.Shed++
+				out.EnergyJ += e.t.EnergyJ
+				continue
+			}
+			n.Trace.record(Event{Time: now, Kind: EvRetry, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+			tasks = append(tasks, e.t)
 		}
 		return nil
 	}
+
+	kill := func(t *Task) {
+		t.Attempts++
+		t.Alloc, t.Layer, t.Frac, t.PenaltyCycles = 0, 0, 0, 0
+		n.Trace.record(Event{Time: now, Kind: EvKill, Task: t.ID, Model: t.Req.Model, Attempt: t.Attempts})
+		cKills.Inc()
+		out.Killed++
+		if tracer != nil {
+			tracer.Instant("faults", fmt.Sprintf("kill task %d (attempt %d)", t.ID, t.Attempts), now,
+				obs.Str("model", t.Req.Model), obs.Num("attempt", float64(t.Attempts)))
+			tracer.Counter(taskTrack(t.ID), "subarrays", now, 0)
+		}
+		if n.MaxAttempts > 0 && t.Attempts > n.MaxAttempts {
+			n.Trace.record(Event{Time: now, Kind: EvShed, Task: t.ID, Model: t.Req.Model, Attempt: t.Attempts})
+			cSheds.Inc()
+			out.Shed++
+			out.EnergyJ += t.EnergyJ
+			return
+		}
+		retryQ = pushRetry(retryQ, retryEntry{t: t, at: now + n.backoff(t.Attempts)})
+		out.Retries++
+		cRetries.Inc()
+	}
+
+	// applyFaults applies every fault transition due at or before now:
+	// records the transitions, kills the victims, and hands the updated
+	// health mask to a health-aware policy. No-op without an injector.
+	applyFaults := func() {
+		if n.Faults == nil {
+			return
+		}
+		h := n.Faults.Health()
+		prev := make([]bool, h.Units())
+		for i := range prev {
+			prev[i] = h.UsableSub(i)
+		}
+		changes := n.Faults.AdvanceTo(now)
+		if len(changes) == 0 {
+			return
+		}
+		anyDown := false
+		for _, ch := range changes {
+			if !ch.Up {
+				anyDown = true
+			}
+			n.Trace.record(Event{Time: ch.Time, Kind: EvFault, Unit: ch.Event.Unit, Up: ch.Up, Model: ch.Event.Kind.String()})
+			cFaults.Inc()
+			out.FaultEvents++
+			if tracer != nil {
+				dir := "lands"
+				if ch.Up {
+					dir = "repairs"
+				}
+				tracer.Instant("faults", fmt.Sprintf("%s fault %s on unit %d", ch.Event.Kind, dir, ch.Event.Unit), ch.Time,
+					obs.Str("kind", ch.Event.Kind.String()), obs.Num("unit", float64(ch.Event.Unit)))
+			}
+		}
+		gAlive.Set(float64(h.Alive()))
+		if tracer != nil {
+			tracer.Counter("chip", "alive_subarrays", now, float64(h.Alive()))
+		}
+		victims := faultVictims(tasks, prev, h, n.FaultMode, anyDown)
+		if len(victims) > 0 {
+			dead := make(map[int]bool, len(victims))
+			for _, v := range victims {
+				kill(v)
+				dead[v.ID] = true
+			}
+			kept := tasks[:0]
+			for _, t := range tasks {
+				if !dead[t.ID] {
+					kept = append(kept, t)
+				}
+			}
+			tasks = kept
+		}
+		if ha, ok := n.Policy.(HealthAware); ok {
+			ha.SetHealth(h.Mask())
+		}
+	}
+
 	if err := admit(); err != nil {
 		return nil, err
 	}
 
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
-			return nil, fmt.Errorf("sim: exceeded %d events (livelock?)", maxIter)
+			return nil, fmt.Errorf("sim: exceeded %d events (livelock?) at t=%.9f: %d tasks, %d retries queued, %d/%d arrivals admitted",
+				maxIter, now, len(tasks), len(retryQ), nextPending, len(pending))
 		}
+		applyFaults()
 		if len(tasks) == 0 {
-			if nextPending >= len(pending) {
+			if nextPending >= len(pending) && len(retryQ) == 0 {
 				break
 			}
-			now = pending[nextPending].Arrival
+			wake := math.Inf(1)
+			if nextPending < len(pending) {
+				wake = pending[nextPending].Arrival
+			}
+			if len(retryQ) > 0 && retryQ[0].at < wake {
+				wake = retryQ[0].at
+			}
+			now = wake
+			applyFaults()
 			if err := admit(); err != nil {
 				return nil, err
 			}
 			continue
 		}
+		sp := n.speed()
+		capNow := n.capacity(total)
+		if capNow == 0 || sp == 0 {
+			// Every subarray is masked: nothing can run until a repair,
+			// which is the only event that can change capacity.
+			nc := n.Faults.NextChange(now)
+			if !math.IsInf(nc, 1) {
+				now = nc
+				continue
+			}
+			// The chip is permanently dead: no queued, retrying, or
+			// still-to-arrive request can ever be served. Drain them all
+			// as shed and end the run gracefully — their Finishes stay
+			// -1 and count against the SLA.
+			shedOne := func(at float64, id int, model string, attempt int, energy float64) {
+				n.Trace.record(Event{Time: at, Kind: EvShed, Task: id, Model: model, Attempt: attempt})
+				cSheds.Inc()
+				out.Shed++
+				out.EnergyJ += energy
+			}
+			for _, t := range tasks {
+				shedOne(now, t.ID, t.Req.Model, t.Attempts, t.EnergyJ)
+			}
+			tasks = tasks[:0]
+			for _, e := range retryQ {
+				shedOne(now, e.t.ID, e.t.Req.Model, e.t.Attempts, e.t.EnergyJ)
+			}
+			retryQ = nil
+			for ; nextPending < len(pending); nextPending++ {
+				r := pending[nextPending]
+				n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+				cRequests.Inc()
+				shedOne(r.Arrival, r.ID, r.Model, 0, 0)
+			}
+			break
+		}
 
 		// Scheduling event: invoke the policy and apply re-allocations.
-		alloc := n.Policy.Allocate(now, tasks, total)
-		if err := validateAllocation(alloc, tasks, total); err != nil {
+		alloc := n.Policy.Allocate(now, tasks, capNow)
+		if err := validateAllocation(alloc, tasks, capNow); err != nil {
 			return nil, err
 		}
 		cSched.Inc()
@@ -205,11 +415,16 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		}
 		tracer.Counter("chip", "subarrays_in_use", now, float64(inUse))
 
-		// Next event: earliest completion, next arrival, or quantum.
+		// Next event: earliest completion, next arrival, quantum, fault
+		// transition, or retry re-enqueue.
 		next := math.Inf(1)
 		for _, t := range tasks {
 			if t.Alloc > 0 {
-				fin := now + n.Cfg.Seconds(t.RemainingCycles(t.Alloc))
+				rem := n.Cfg.Seconds(t.RemainingCycles(t.Alloc))
+				if sp != 1 {
+					rem /= sp
+				}
+				fin := now + rem
 				if fin < next {
 					next = fin
 				}
@@ -219,18 +434,39 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			next = pending[nextPending].Arrival
 		}
 		if q := n.Policy.Quantum(); q > 0 && len(tasks) > running {
+			// The quantum is a cycle-count epoch, so a derated chip takes
+			// proportionally longer wall-clock to complete one. (Keeping it
+			// wall-clock-fixed would let the per-switch reconfiguration
+			// penalty outrun the work retired per epoch at low speeds —
+			// tasks would thrash forever without progressing.)
+			if sp != 1 {
+				q /= sp
+			}
 			if now+q < next {
 				next = now + q
 			}
+		}
+		if n.Faults != nil {
+			if nc := n.Faults.NextChange(now); nc < next {
+				next = nc
+			}
+		}
+		if len(retryQ) > 0 && retryQ[0].at < next {
+			next = retryQ[0].at
 		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("sim: no next event with %d tasks active", len(tasks))
 		}
 
-		// Advance running tasks to the event time.
+		// Advance running tasks to the event time. Under derate the chip
+		// retires work at the alive fraction of its nominal rate.
 		dt := next - now
 		out.BusyTime += dt
-		dtCycles := int64(math.Ceil(dt * n.Cfg.CyclesPerSecond()))
+		work := dt * n.Cfg.CyclesPerSecond()
+		if sp != 1 {
+			work *= sp
+		}
+		dtCycles := int64(math.Ceil(work))
 		if dtCycles < 1 {
 			dtCycles = 1
 		}
@@ -276,7 +512,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		if err := admit(); err != nil {
 			return nil, err
 		}
-		if len(tasks) == 0 && nextPending >= len(pending) {
+		if len(tasks) == 0 && nextPending >= len(pending) && len(retryQ) == 0 {
 			break
 		}
 	}

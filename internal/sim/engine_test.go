@@ -158,9 +158,51 @@ func TestDeterminism(t *testing.T) {
 
 func TestUnknownModelRejected(t *testing.T) {
 	node, _ := testNode(t, fullPolicy{})
+	node.Strict = true
 	bad := workload.Request{ID: 0, Model: "no-such-model", Arrival: 0, QoS: 1, Deadline: 1, Priority: 1}
 	if _, err := node.Run([]workload.Request{bad}); err == nil {
-		t.Fatal("expected unknown-model error")
+		t.Fatal("expected unknown-model error in strict mode")
+	}
+}
+
+// TestUnknownModelRejectionOutcome checks the default (non-strict)
+// behavior: a request for an unknown model becomes a per-request
+// rejection rather than failing the whole run, and the other requests
+// finish untouched.
+func TestUnknownModelRejectionOutcome(t *testing.T) {
+	node, _ := testNode(t, fullPolicy{})
+	node.Trace = &Trace{}
+	reqs := []workload.Request{
+		req(0, 0, 1, 1),
+		{ID: 1, Model: "no-such-model", Arrival: 10e-6, QoS: 1, Deadline: 1, Priority: 1},
+		req(2, 20e-6, 1, 1),
+	}
+	out, err := node.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", out.Rejected)
+	}
+	if out.Finishes[1] != -1 {
+		t.Fatalf("rejected request got a finish time %g", out.Finishes[1])
+	}
+	for _, i := range []int{0, 2} {
+		if out.Finishes[i] < 0 {
+			t.Fatalf("request %d did not finish (%g)", i, out.Finishes[i])
+		}
+	}
+	var sawReject bool
+	for _, e := range node.Trace.Events {
+		if e.Kind == EvReject && e.Task == 1 {
+			sawReject = true
+		}
+	}
+	if !sawReject {
+		t.Fatal("no EvReject for the unknown-model request")
+	}
+	if err := node.Trace.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -38,6 +38,10 @@ type Task struct {
 	Finish      float64 // completion time, or -1 while in flight
 	EnergyJ     float64
 	Preemptions int
+	// Attempts counts fault-induced restarts: a kill resets the task's
+	// progress (EnergyJ keeps accruing — the wasted work was real) and
+	// re-enqueues it after a capped exponential backoff.
+	Attempts int
 }
 
 // Done reports whether the task has completed every layer.

@@ -26,6 +26,23 @@ const (
 	// event: Depth dispatched-but-unfinished tasks, of which Running hold
 	// a non-zero allocation. Recorded only when the pair changes.
 	EvQueue
+	// EvKill marks a running task losing its progress to an injected
+	// fault (Attempt = how many times this request has now been killed).
+	EvKill
+	// EvRetry marks a killed task rejoining the queue after its backoff
+	// (Attempt = the attempt number it resumes at).
+	EvRetry
+	// EvShed marks a request declined by admission control — its
+	// estimated completion misses the deadline at the chip's current
+	// (possibly degraded) capacity, or its retry budget is exhausted.
+	EvShed
+	// EvReject marks a request for a model the node has no program for
+	// (non-strict mode; strict mode fails the whole run instead).
+	EvReject
+	// EvFault marks a fault transition applied to the chip: Unit is the
+	// faulted unit index, Up distinguishes repair from landing, and Model
+	// carries the fault kind name ("pe", "subarray", "link").
+	EvFault
 )
 
 // String names the event kind.
@@ -41,6 +58,16 @@ func (k EventKind) String() string {
 		return "preempt"
 	case EvQueue:
 		return "queue"
+	case EvKill:
+		return "kill"
+	case EvRetry:
+		return "retry"
+	case EvShed:
+		return "shed"
+	case EvReject:
+		return "reject"
+	case EvFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -56,6 +83,13 @@ type Event struct {
 	// Depth and Running carry EvQueue's occupancy sample.
 	Depth   int
 	Running int
+	// Unit and Up carry EvFault's transition: the faulted unit index
+	// (subarray, PE-owning subarray, or pod for link faults) and whether
+	// the transition is a repair.
+	Unit int
+	Up   bool
+	// Attempt carries EvKill/EvRetry's fault-restart count.
+	Attempt int
 }
 
 // Trace is a recorded serving timeline.
@@ -75,8 +109,8 @@ func (tr *Trace) record(e Event) {
 func (tr *Trace) TasksSeen() []int {
 	seen := map[int]bool{}
 	for _, e := range tr.Events {
-		if e.Kind == EvQueue {
-			continue // queue samples are not bound to a task
+		if e.Kind == EvQueue || e.Kind == EvFault {
+			continue // queue samples and fault transitions are not bound to a task
 		}
 		seen[e.Task] = true
 	}
@@ -128,6 +162,25 @@ func (tr *Trace) Validate() error {
 			if e.Depth < e.Running || e.Running < 0 {
 				return fmt.Errorf("sim: queue sample depth=%d running=%d at event %d", e.Depth, e.Running, i)
 			}
+		case EvKill, EvRetry:
+			if !arrived[e.Task] {
+				return fmt.Errorf("sim: task %d %s before arrival", e.Task, e.Kind)
+			}
+			if finished[e.Task] {
+				return fmt.Errorf("sim: task %d %s after finishing", e.Task, e.Kind)
+			}
+		case EvShed, EvReject:
+			if !arrived[e.Task] {
+				return fmt.Errorf("sim: task %d %s before arrival", e.Task, e.Kind)
+			}
+			if finished[e.Task] {
+				return fmt.Errorf("sim: task %d %s after finishing", e.Task, e.Kind)
+			}
+			// Shedding and rejection are terminal: no later allocation,
+			// retry, or completion may reference the task.
+			finished[e.Task] = true
+		case EvFault:
+			// Not bound to a task; nothing beyond time monotonicity.
 		case EvFinish:
 			if !arrived[e.Task] {
 				return fmt.Errorf("sim: task %d finished before arrival", e.Task)
@@ -152,6 +205,16 @@ func (tr *Trace) String() string {
 		case EvQueue:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s depth %d running %d\n",
 				e.Time*1e3, e.Kind, e.Depth, e.Running)
+		case EvFault:
+			dir := "down"
+			if e.Up {
+				dir = "up"
+			}
+			fmt.Fprintf(&b, "%9.3f ms  %-7s %s unit %d %s\n",
+				e.Time*1e3, e.Kind, e.Model, e.Unit, dir)
+		case EvKill, EvRetry:
+			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s attempt %d\n",
+				e.Time*1e3, e.Kind, e.Task, e.Model, e.Attempt)
 		default:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model)

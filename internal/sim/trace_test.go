@@ -95,7 +95,7 @@ func TestEventKindString(t *testing.T) {
 			t.Fatal("empty kind name")
 		}
 	}
-	if EventKind(9).String() != "event(9)" {
+	if EventKind(99).String() != "event(99)" {
 		t.Fatal("unknown kind string")
 	}
 }

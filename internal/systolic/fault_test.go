@@ -1,0 +1,102 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMaskedGridComputesExactGEMMs is the functional graceful-degradation
+// check: inject a dead subarray (via a dead PE), re-fission the grid
+// around the masked band, and verify every surviving logical accelerator
+// still produces bit-exact int8 GEMM results.
+func TestMaskedGridComputesExactGEMMs(t *testing.T) {
+	g, err := New(4, 4, 2, 2) // 2×2 bands of 4×4 PEs
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dead PE at grid coordinates (5, 2) masks band (1, 0).
+	if err := g.InjectPEFault(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.BandUsable(1, 0) {
+		t.Fatal("band (1,0) still usable after PE fault")
+	}
+	if got := g.FaultyBands(); len(got) != 1 || got[0] != [2]int{1, 0} {
+		t.Fatalf("FaultyBands = %v", got)
+	}
+	if mask := g.HealthMask(); !mask[0] || !mask[1] || mask[2] || !mask[3] {
+		t.Fatalf("HealthMask = %v", mask)
+	}
+
+	// Placing over the dead band is refused...
+	if _, err := g.AddCluster(ClusterSpec{BandRow: 0, BandCol: 0, H: 2, W: 1},
+		randMat(rand.New(rand.NewSource(1)), 8, 4), randMat(rand.New(rand.NewSource(2)), 3, 8)); err == nil {
+		t.Fatal("cluster over faulty band accepted")
+	}
+
+	// ...so re-fission over the three survivors: a chained 1×2 cluster on
+	// the top row and a single-band cluster at (1,1).
+	rng := rand.New(rand.NewSource(7))
+	wA := randMat(rng, 4, 8)
+	aA := randMat(rng, 6, 4)
+	idA, err := g.AddCluster(ClusterSpec{BandRow: 0, BandCol: 0, H: 1, W: 2}, wA, aA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB := randMat(rng, 4, 4)
+	aB := randMat(rng, 5, 4)
+	idB, err := g.AddCluster(ClusterSpec{BandRow: 1, BandCol: 1, H: 1, W: 1}, wB, aB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		id   int
+		w, a [][]int8
+	}{{idA, wA, aA}, {idB, wB, aB}} {
+		got, err := g.Output(c.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Reference(c.a, c.w)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("cluster %d out[%d][%d] = %d, want %d", c.id, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestFaultInjectionBounds covers the mask API's error paths.
+func TestFaultInjectionBounds(t *testing.T) {
+	g, err := New(4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InjectSubarrayFault(2, 0); err == nil {
+		t.Error("out-of-grid band fault accepted")
+	}
+	if err := g.InjectPEFault(0, 99); err == nil {
+		t.Error("out-of-grid PE fault accepted")
+	}
+	// An owned band cannot be masked after the fact.
+	rng := rand.New(rand.NewSource(3))
+	if _, err := g.AddCluster(ClusterSpec{BandRow: 0, BandCol: 0, H: 1, W: 1},
+		randMat(rng, 4, 4), randMat(rng, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InjectSubarrayFault(0, 0); err == nil {
+		t.Error("masking an owned band accepted")
+	}
+	// Masking a free band twice is idempotent and fine.
+	if err := g.InjectSubarrayFault(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InjectSubarrayFault(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

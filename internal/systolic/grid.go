@@ -99,6 +99,13 @@ type Grid struct {
 	subR, subC     int
 	bandsR, bandsC int
 	owner          [][]int // band ownership, -1 = free
+	// faulty marks subarray bands masked out by injected faults; deadPE
+	// counts the dead PEs behind each band's mask. AddCluster refuses to
+	// place a cluster over a faulty band — the fission granularity is
+	// the subarray, so one dead PE retires its whole band while the
+	// surviving bands keep computing bit-exact results.
+	faulty [][]bool
+	deadPE [][]int
 	clusters       []*cluster
 	// staged holds pre-Run injections (activations and streamed weights);
 	// Run counting-sorts them into the read-only initial schedule.
@@ -129,8 +136,12 @@ func New(subR, subC, bandsR, bandsC int) (*Grid, error) {
 		return nil, fmt.Errorf("systolic: non-positive grid dims %d %d %d %d", subR, subC, bandsR, bandsC)
 	}
 	owner := make([][]int, bandsR)
+	faulty := make([][]bool, bandsR)
+	deadPE := make([][]int, bandsR)
 	for i := range owner {
 		owner[i] = make([]int, bandsC)
+		faulty[i] = make([]bool, bandsC)
+		deadPE[i] = make([]int, bandsC)
 		for j := range owner[i] {
 			owner[i][j] = -1
 		}
@@ -138,8 +149,73 @@ func New(subR, subC, bandsR, bandsC int) (*Grid, error) {
 	return &Grid{
 		subR: subR, subC: subC,
 		bandsR: bandsR, bandsC: bandsC,
-		owner: owner,
+		owner: owner, faulty: faulty, deadPE: deadPE,
 	}, nil
+}
+
+// InjectSubarrayFault masks the subarray band (bandRow, bandCol) out of
+// the placement pool: subsequent AddCluster calls refuse to claim it.
+// Bands already owned by a cluster cannot be masked — the serving layer
+// kills and re-enqueues the affected task instead (internal/sim), and a
+// fresh grid is fissioned over the survivors.
+func (g *Grid) InjectSubarrayFault(bandRow, bandCol int) error {
+	if bandRow < 0 || bandRow >= g.bandsR || bandCol < 0 || bandCol >= g.bandsC {
+		return fmt.Errorf("systolic: fault target band (%d,%d) outside %dx%d grid",
+			bandRow, bandCol, g.bandsR, g.bandsC)
+	}
+	if g.owner[bandRow][bandCol] != -1 {
+		return fmt.Errorf("systolic: band (%d,%d) is owned by cluster %d; kill the task before masking",
+			bandRow, bandCol, g.owner[bandRow][bandCol])
+	}
+	g.faulty[bandRow][bandCol] = true
+	return nil
+}
+
+// InjectPEFault marks the PE at grid-global coordinates (peRow, peCol)
+// dead. The fission granularity is the subarray, so the PE's whole band
+// is masked out of the placement pool (a dead PE breaks its column's
+// systolic wavefront; there is no per-PE bypass in the architecture).
+func (g *Grid) InjectPEFault(peRow, peCol int) error {
+	if peRow < 0 || peRow >= g.bandsR*g.subR || peCol < 0 || peCol >= g.bandsC*g.subC {
+		return fmt.Errorf("systolic: fault target PE (%d,%d) outside %dx%d grid",
+			peRow, peCol, g.bandsR*g.subR, g.bandsC*g.subC)
+	}
+	if err := g.InjectSubarrayFault(peRow/g.subR, peCol/g.subC); err != nil {
+		return err
+	}
+	g.deadPE[peRow/g.subR][peCol/g.subC]++
+	return nil
+}
+
+// BandUsable reports whether a band is free of injected faults.
+func (g *Grid) BandUsable(bandRow, bandCol int) bool {
+	return !g.faulty[bandRow][bandCol]
+}
+
+// FaultyBands returns the masked bands as (row, col) pairs in row-major
+// order.
+func (g *Grid) FaultyBands() [][2]int {
+	var out [][2]int
+	for r := 0; r < g.bandsR; r++ {
+		for c := 0; c < g.bandsC; c++ {
+			if g.faulty[r][c] {
+				out = append(out, [2]int{r, c})
+			}
+		}
+	}
+	return out
+}
+
+// HealthMask flattens the band fault state row-major into a usable-mask
+// slice, the shape arch.HealthMask consumes.
+func (g *Grid) HealthMask() []bool {
+	u := make([]bool, 0, g.bandsR*g.bandsC)
+	for r := 0; r < g.bandsR; r++ {
+		for c := 0; c < g.bandsC; c++ {
+			u = append(u, !g.faulty[r][c])
+		}
+	}
+	return u
 }
 
 // Observe attaches a timeline builder before Run. Timestamps are cycles
@@ -187,6 +263,9 @@ func (g *Grid) addCluster(spec ClusterSpec, wts [][]int8, a [][]int8, streamLoad
 		for c := spec.BandCol; c < spec.BandCol+spec.W; c++ {
 			if g.owner[r][c] != -1 {
 				return 0, fmt.Errorf("systolic: band (%d,%d) already owned by cluster %d", r, c, g.owner[r][c])
+			}
+			if g.faulty[r][c] {
+				return 0, fmt.Errorf("systolic: band (%d,%d) has an injected fault (%d dead PEs)", r, c, g.deadPE[r][c])
 			}
 		}
 	}

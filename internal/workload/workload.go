@@ -174,6 +174,23 @@ func MeetsSLA(reqs []Request, finishes []float64) bool {
 	return true
 }
 
+// DeadlineFraction returns the fraction of requests whose finish meets
+// the deadline. Unfinished requests (finishes[i] < 0 — shed, rejected,
+// or dropped) count as misses; the chaos experiments use this as the
+// SLA-retention metric under fault injection.
+func DeadlineFraction(reqs []Request, finishes []float64) float64 {
+	if len(reqs) == 0 || len(reqs) != len(finishes) {
+		return 0
+	}
+	ok := 0
+	for i, r := range reqs {
+		if finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(reqs))
+}
+
 // TailLatencySlack returns the minimum over domains of
 // (achieved within-deadline fraction − required fraction); positive means
 // the SLA holds with margin. Useful for diagnostics and tests.
