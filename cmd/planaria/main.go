@@ -5,7 +5,7 @@
 //	planaria [flags] <experiment>...
 //
 // Experiments: table1, table2, fig12, fig13, fig14, fig15, fig16, fig17,
-// fig18, fig19, ablation, models, trace, chaos, all.
+// fig18, fig19, ablation, models, trace, chaos, cluster, all.
 //
 // The trace experiment runs one instrumented co-location instance on both
 // systems and writes a Perfetto-loadable timeline (-trace-out) and a
@@ -16,6 +16,12 @@
 // and compares SLA retention under Planaria's fission masking + load
 // shedding (-shed) against PREMA's monolithic derate. -chaos-out writes
 // the deterministic BENCH_chaos.json artifact.
+//
+// The cluster experiment sweeps multi-chip serving: cluster sizes
+// (-chips), balancing policies (-policy), and optional dynamic batching
+// (-batch-window); each cell reports its bisected maximum SLA-meeting
+// QPS for both systems. -cluster-out writes the deterministic
+// BENCH_cluster.json artifact.
 //
 // Flags tune simulation fidelity; the defaults match EXPERIMENTS.md.
 // Profiling flags (-cpuprofile, -memprofile, -phasestats) live here in
@@ -33,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"planaria/internal/cluster"
 	"planaria/internal/dnn"
 	"planaria/internal/experiments"
 	"planaria/internal/fault"
@@ -113,12 +120,17 @@ func run() int {
 	faultRates := flag.String("fault-rates", "", "comma-separated fault rates (faults/s) for the chaos sweep (default 0,10,40,160)")
 	shedName := flag.String("shed", "doomed", "Planaria admission-control policy for chaos (none, doomed, or priority)")
 	chaosOut := flag.String("chaos-out", "", "write the chaos experiment's BENCH_chaos.json artifact to this file")
+	chipsSpec := flag.String("chips", "", "comma-separated cluster sizes for the cluster experiment (default 1,2,4)")
+	policySpec := flag.String("policy", "all", "comma-separated balancing policies for the cluster experiment (round-robin, least-work, affinity, or all)")
+	batchWindow := flag.Float64("batch-window", 0, "cluster dynamic-batching window in seconds (0 disables batching)")
+	maxBatch := flag.Int("max-batch", 8, "cluster batch size cap (with -batch-window > 0)")
+	clusterOut := flag.String("cluster-out", "", "write the cluster experiment's BENCH_cluster.json artifact to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	phasestats := flag.Bool("phasestats", false, "report per-phase wall-clock and allocations on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: planaria [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos cluster all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -289,6 +301,13 @@ func run() int {
 		}
 		phases.mark("chaos")
 	}
+	if want["cluster"] {
+		if err := runCluster(suite, *scenario, *qosName, *chipsSpec, *policySpec,
+			*batchWindow, *maxBatch, *clusterOut, *requests, *instances, *seed); err != nil {
+			return fail(err)
+		}
+		phases.mark("cluster")
+	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
 	return 0
 }
@@ -391,6 +410,91 @@ func runChaos(suite *experiments.Suite, scenario, qosName, faultsFile, rateSpec,
 			return err
 		}
 		fmt.Printf("chaos: %s (%d bytes)\n", chaosOut, len(j))
+	}
+	return nil
+}
+
+// parseChips decodes a -chips list ("1,2,4").
+func parseChips(spec string) ([]int, error) {
+	var chips []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad cluster size %q (want a positive integer)", part)
+		}
+		chips = append(chips, n)
+	}
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("-chips %q names no cluster sizes", spec)
+	}
+	return chips, nil
+}
+
+// parsePolicies decodes a -policy list; "all" selects every built-in.
+func parsePolicies(spec string) ([]string, error) {
+	if strings.EqualFold(strings.TrimSpace(spec), "all") {
+		return cluster.Policies(), nil
+	}
+	var pols []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := cluster.NewBalancer(part)
+		if err != nil {
+			return nil, err
+		}
+		pols = append(pols, b.Name())
+	}
+	if len(pols) == 0 {
+		return nil, fmt.Errorf("-policy %q names no policies", spec)
+	}
+	return pols, nil
+}
+
+// runCluster executes the multi-chip serving sweep and prints the
+// scale-out table.
+func runCluster(suite *experiments.Suite, scenario, qosName, chipsSpec, policySpec string,
+	batchWindow float64, maxBatch int, clusterOut string, requests, instances int, seed int64) error {
+	sc, err := scenarioByName(scenario)
+	if err != nil {
+		return err
+	}
+	lvl, err := qosByName(qosName)
+	if err != nil {
+		return err
+	}
+	o := experiments.DefaultClusterOptions()
+	o.Scenario, o.Level = sc, lvl
+	o.Opt = metrics.Options{Requests: requests, Instances: instances, Seed: seed}
+	o.BatchWindow, o.MaxBatch = batchWindow, maxBatch
+	if chipsSpec != "" {
+		if o.Chips, err = parseChips(chipsSpec); err != nil {
+			return err
+		}
+	}
+	if o.Policies, err = parsePolicies(policySpec); err != nil {
+		return err
+	}
+	rows, err := suite.ClusterSweep(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatCluster(o, rows))
+	if clusterOut != "" {
+		j, err := experiments.ClusterJSON(o, rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(clusterOut, j, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cluster: %s (%d bytes)\n", clusterOut, len(j))
 	}
 	return nil
 }

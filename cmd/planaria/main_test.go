@@ -30,6 +30,47 @@ func TestParseRates(t *testing.T) {
 	}
 }
 
+func TestParseChips(t *testing.T) {
+	got, err := parseChips("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("parseChips = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseChips = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "0", "-2", "1;2"} {
+		if _, err := parseChips(bad); err == nil {
+			t.Errorf("parseChips(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	all, err := parsePolicies("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("parsePolicies(all) = %v, %v", all, err)
+	}
+	// Aliases canonicalize.
+	got, err := parsePolicies("rr, jsq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "round-robin" || got[1] != "least-work" {
+		t.Fatalf("parsePolicies(rr, jsq) = %v", got)
+	}
+	for _, bad := range []string{"", "bogus", "round-robin,bogus"} {
+		if _, err := parsePolicies(bad); err == nil {
+			t.Errorf("parsePolicies(%q) accepted", bad)
+		}
+	}
+}
+
 // TestFaultsFlagParseError: a malformed -faults file must surface a
 // parse error naming the offending construct, not a silent permanent
 // fault (the schedule DSL rejects unknown fields for exactly this

@@ -121,6 +121,10 @@ var DeterministicPackages = map[string]bool{
 	// violation like any other. Wall-clock profiling lives in the CLI
 	// layer (cmd/planaria), which is not a deterministic package.
 	"obs": true,
+	// The multi-chip serving front end dispatches, batches, and sheds on
+	// simulated time only; BENCH_cluster.json and the 1-chip conformance
+	// artifacts are compared byte-for-byte run-to-run.
+	"cluster": true,
 }
 
 // annotations maps source lines to //det:<marker>-ok annotation reasons

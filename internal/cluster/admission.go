@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TokenBucket is the admission budget of one QoS level: tokens refill
+// continuously at Rate per simulated second up to Burst, one token admits
+// one request, and requests that find the bucket empty wait in a bounded
+// FIFO whose overflow sheds deterministically (the arriving request is
+// declined; nothing already queued is evicted).
+type TokenBucket struct {
+	// Rate is the sustained admission rate, tokens per simulated second.
+	Rate float64
+	// Burst is the bucket capacity (instantaneously admittable run).
+	Burst float64
+	// MaxQueue bounds how many admitted-but-waiting requests may be
+	// queued for future tokens. 0 means no queueing: an empty bucket
+	// sheds immediately.
+	MaxQueue int
+}
+
+// validate checks one bucket's parameters.
+func (b TokenBucket) validate(level string) error {
+	if b.Rate <= 0 || math.IsNaN(b.Rate) || math.IsInf(b.Rate, 0) {
+		return fmt.Errorf("cluster: admission bucket %q needs a positive rate, got %v", level, b.Rate)
+	}
+	if b.Burst < 1 || math.IsNaN(b.Burst) || math.IsInf(b.Burst, 0) {
+		return fmt.Errorf("cluster: admission bucket %q needs burst >= 1, got %v", level, b.Burst)
+	}
+	if b.MaxQueue < 0 {
+		return fmt.Errorf("cluster: admission bucket %q has negative queue bound %d", level, b.MaxQueue)
+	}
+	return nil
+}
+
+// bucketState replays one token bucket against arrival order. The bucket
+// starts full at t = 0 of the simulated timeline, so the g-th grant (from
+// 1) cannot happen before (g − Burst)/Rate; the admit instant is
+// additionally FIFO (never before the previous grant's instant).
+type bucketState struct {
+	cfg    TokenBucket
+	grants int
+	// waiting holds the admit instants of grants still in the future,
+	// oldest first; its length is the queue occupancy.
+	waiting []float64
+}
+
+// admit requests one token at simulated time t (arrivals must be fed in
+// non-decreasing t). It returns the admit instant (>= t) and true, or
+// false when the wait queue is full and the request sheds.
+func (b *bucketState) admit(t float64) (float64, bool) {
+	// Grants whose instant has passed are no longer queued.
+	drop := 0
+	for drop < len(b.waiting) && b.waiting[drop] <= t+1e-12 {
+		drop++
+	}
+	b.waiting = b.waiting[drop:]
+	at := t
+	if earliest := (float64(b.grants+1) - b.cfg.Burst) / b.cfg.Rate; earliest > at {
+		at = earliest
+	}
+	if n := len(b.waiting); n > 0 && b.waiting[n-1] > at {
+		at = b.waiting[n-1] // FIFO within the level
+	}
+	if at > t+1e-12 {
+		if len(b.waiting) >= b.cfg.MaxQueue {
+			return 0, false
+		}
+		b.waiting = append(b.waiting, at)
+	}
+	b.grants++
+	return at, true
+}
+
+// admissionState holds the per-level buckets of one cluster run.
+type admissionState struct {
+	buckets map[string]*bucketState
+}
+
+// newAdmissionState validates and instantiates the configured buckets.
+// A nil/empty config disables admission control entirely.
+func newAdmissionState(cfg map[string]TokenBucket) (*admissionState, error) {
+	if len(cfg) == 0 {
+		return nil, nil
+	}
+	levels := make([]string, 0, len(cfg))
+	for level := range cfg {
+		levels = append(levels, level)
+	}
+	sort.Strings(levels) // deterministic validation order
+	st := &admissionState{buckets: make(map[string]*bucketState, len(cfg))}
+	for _, level := range levels {
+		b := cfg[level]
+		if err := b.validate(level); err != nil {
+			return nil, err
+		}
+		st.buckets[level] = &bucketState{cfg: b}
+	}
+	return st, nil
+}
+
+// admit runs one request's level through its bucket. Levels without a
+// configured bucket fall back to the "" bucket when present, and admit
+// freely otherwise (admission control governs only the levels it names).
+func (st *admissionState) admit(level string, t float64) (float64, bool) {
+	if st == nil {
+		return t, true
+	}
+	b, ok := st.buckets[level]
+	if !ok {
+		if b, ok = st.buckets[""]; !ok {
+			return t, true
+		}
+	}
+	return b.admit(t)
+}

@@ -1,0 +1,592 @@
+// Package cluster is the deterministic multi-chip serving front end: it
+// dispatches one Poisson request stream across N independent accelerator
+// chips — each chip a sim.Node running either the Planaria spatial
+// scheduler or the PREMA baseline — through three stages:
+//
+//  1. Admission: per-QoS-level token buckets (simulated-time refill) with
+//     a bounded wait queue; overflow sheds deterministically and reuses
+//     the EvShed trace vocabulary.
+//  2. Dynamic batching: per-model batch windows fuse requests that arrive
+//     within BatchWindow (capped at MaxBatch) into one chip request that
+//     shares a single allocation; completions fan back out to every
+//     member. A fused batch of k costs 1 + α·(k−1) single inferences
+//     (weight reuse amortizes the re-fetch, compute still scales).
+//  3. Load balancing: a pluggable Balancer (round-robin,
+//     least-outstanding-work, model-affinity rendezvous hashing) picks a
+//     healthy chip per dispatch; per-chip fault schedules mask dead chips
+//     out of the routable set, so the balancer routes around failures.
+//
+// Everything advances on simulated time only and every tie is broken
+// explicitly, so a cluster run at a fixed seed is byte-reproducible
+// (the package is in planaria-vet's deterministic set). A 1-chip cluster
+// with admission and batching disabled is a bit-exact pass-through to
+// sim.Node.Run — the conformance tests pin that identity.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"planaria/internal/fault"
+	"planaria/internal/metrics"
+	"planaria/internal/obs"
+	"planaria/internal/par"
+	"planaria/internal/sim"
+	"planaria/internal/workload"
+)
+
+// DefaultBatchAlpha is the marginal cost of each extra fused inference:
+// batch k costs 1 + α·(k−1) single runs.
+const DefaultBatchAlpha = 0.35
+
+// Config describes one cluster serving run.
+type Config struct {
+	// System is the chip template (architecture, compiled programs,
+	// energy constants, and the per-chip scheduling policy constructor).
+	System metrics.System
+	// Chips is the cluster size (>= 1).
+	Chips int
+	// Policy names the load-balancing policy (see NewBalancer); empty
+	// means "least-work".
+	Policy string
+
+	// BatchWindow is the per-model batching window in simulated seconds.
+	// <= 0 disables the batching stage entirely (every request dispatches
+	// at its admit instant, untouched).
+	BatchWindow float64
+	// MaxBatch caps a batch's size; reaching it closes the window early.
+	// <= 0 means unbounded.
+	MaxBatch int
+	// BatchAlpha is the marginal batched-inference cost; 0 means
+	// DefaultBatchAlpha, negative means free batching (cost 1).
+	BatchAlpha float64
+
+	// Admission maps QoS level name → token bucket. Nil or empty
+	// disables admission control. Levels without a bucket fall back to
+	// the "" bucket when present and admit freely otherwise.
+	Admission map[string]TokenBucket
+
+	// Faults holds one fault schedule per chip (nil entries = healthy
+	// chip). Nil disables fault injection cluster-wide.
+	Faults []*fault.Schedule
+	// FaultMode selects each chip's degradation mode (fission for
+	// Planaria, derate for the PREMA baseline).
+	FaultMode sim.FaultMode
+	// Shed is each chip's local admission-control policy.
+	Shed sim.ShedPolicy
+
+	// Obs, when non-nil, receives the front-door metrics and timeline
+	// (dispatch counters, batch-size histogram, cluster latency
+	// histograms, batch spans).
+	Obs *obs.Observer
+	// Trace, when non-nil, records the front-door timeline: arrivals,
+	// admission sheds, batch closes, dispatches.
+	Trace *sim.Trace
+	// Observe attaches a fresh obs.Observer to every chip node (exposed
+	// on ChipResult.Obs for artifact comparison).
+	Observe bool
+	// ChipTraces attaches a sim.Trace to every chip node (exposed on
+	// ChipResult.Trace).
+	ChipTraces bool
+}
+
+// validate checks the configuration against the request stream.
+func (c *Config) validate() error {
+	if c.Chips < 1 {
+		return fmt.Errorf("cluster: need at least 1 chip, got %d", c.Chips)
+	}
+	if c.System.NewPolicy == nil {
+		return fmt.Errorf("cluster: system %q has no policy constructor", c.System.Name)
+	}
+	if c.Faults != nil && len(c.Faults) != c.Chips {
+		return fmt.Errorf("cluster: %d fault schedules for %d chips", len(c.Faults), c.Chips)
+	}
+	if c.FaultMode == sim.FaultFission {
+		units := c.System.Cfg.NumSubarrays()
+		for i, s := range c.Faults {
+			if s != nil && s.Units != units {
+				return fmt.Errorf("cluster: chip %d fault schedule has %d units, config has %d subarrays",
+					i, s.Units, units)
+			}
+		}
+	}
+	return nil
+}
+
+// ChipResult is one chip's share of a cluster run.
+type ChipResult struct {
+	// Requests is the dispatch stream the chip served (merged batch
+	// leaders, in dispatch order).
+	Requests []workload.Request
+	// Outcome is the chip's simulation outcome, nil when the chip
+	// received no requests.
+	Outcome *sim.Outcome
+	// Trace is the chip's serving timeline (nil unless Config.ChipTraces).
+	Trace *sim.Trace
+	// Obs is the chip's private observer (nil unless Config.Observe).
+	Obs *obs.Observer
+}
+
+// Outcome aggregates one cluster run over the original request stream.
+type Outcome struct {
+	// Finishes[i] / Latency[i] are indexed like the input slice;
+	// Finishes[i] = −1 marks a request that never completed. A batched
+	// request's latency runs from its own arrival to the shared batch
+	// completion.
+	Finishes []float64
+	Latency  []float64
+
+	// Terminal-state conservation: every request lands in exactly one of
+	// these four tallies, so
+	// Completed + ShedFront + ShedChips + Rejected == len(reqs).
+	Completed int
+	// ShedFront counts front-door declines: admission-bucket overflow
+	// plus dispatches with no healthy chip left.
+	ShedFront int
+	// ShedChips counts requests (expanded to batch members) whose chip
+	// shed them locally — doomed-deadline declines, retry-budget
+	// exhaustion, and dead-chip drains.
+	ShedChips int
+	// Rejected counts requests for models no chip has a program for.
+	Rejected int
+
+	// Killed/Retries/FaultEvents total the chips' fault tallies.
+	Killed      int
+	Retries     int
+	FaultEvents int
+
+	// Batches counts dispatch groups; BatchedReqs counts requests that
+	// shared a batch of size >= 2; MeanBatchSize is members per dispatch.
+	Batches       int
+	BatchedReqs   int
+	MeanBatchSize float64
+
+	// Dispatched[c] counts dispatch groups routed to chip c.
+	Dispatched []int
+
+	// EnergyJ totals chip energy; Makespan spans first arrival to last
+	// completion; MeetsSLA / DeadlineFrac apply the MLPerf server
+	// criterion over the original stream.
+	EnergyJ      float64
+	Makespan     float64
+	MeetsSLA     bool
+	DeadlineFrac float64
+
+	// PerChip holds each chip's share.
+	PerChip []*ChipResult
+}
+
+// workOf returns a request's work multiplier (0 means 1).
+func workOf(r workload.Request) float64 {
+	if r.Work > 0 {
+		return r.Work
+	}
+	return 1
+}
+
+// healthSteps is a chip's precomputed alive-subarray step function,
+// replayed once from its fault schedule so the balancer can consult chip
+// health at any dispatch instant without running the chip first.
+type healthSteps struct {
+	times []float64
+	alive []int
+}
+
+// healthStepsOf replays a schedule into its step function. Nil (or
+// empty) schedules yield nil: the chip is always fully alive.
+func healthStepsOf(s *fault.Schedule) (*healthSteps, error) {
+	if s.Empty() {
+		return nil, nil
+	}
+	in, err := fault.NewInjector(s)
+	if err != nil {
+		return nil, err
+	}
+	h := &healthSteps{}
+	at := -1.0
+	for in.Pending() {
+		next := in.NextChange(at)
+		if math.IsInf(next, 1) {
+			break
+		}
+		in.AdvanceTo(next)
+		h.times = append(h.times, next)
+		h.alive = append(h.alive, in.Health().Alive())
+		at = next
+	}
+	return h, nil
+}
+
+// aliveAt returns the chip's usable subarray count at time t.
+func (h *healthSteps) aliveAt(t float64, total int) int {
+	if h == nil {
+		return total
+	}
+	// Last step at or before t.
+	idx := sort.Search(len(h.times), func(i int) bool { return h.times[i] > t+1e-12 })
+	if idx == 0 {
+		return total
+	}
+	return h.alive[idx-1]
+}
+
+// dispatchRec is one routed dispatch group: the merged request given to
+// the chip and the input indices whose completions fan out from it.
+type dispatchRec struct {
+	time    float64
+	chip    int
+	pos     int // position within the chip's request slice
+	members []int
+	req     workload.Request
+}
+
+// openBatch is one in-flight batching window.
+type openBatch struct {
+	model   string
+	closeAt float64
+	members []int
+	closed  bool
+}
+
+// Run serves the request stream through the cluster front end and the N
+// chip simulations, then merges per-chip outcomes back onto the original
+// stream. Requests must have unique IDs; each is dispatched to at most
+// one chip.
+func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("cluster: no requests")
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = "least-work"
+	}
+	balancer, err := NewBalancer(policy)
+	if err != nil {
+		return nil, err
+	}
+	admission, err := newAdmissionState(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(reqs))
+	for _, r := range reqs {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("cluster: duplicate request ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+
+	// Per-chip health timelines for routing.
+	health := make([]*healthSteps, cfg.Chips)
+	for i := range health {
+		if cfg.Faults != nil {
+			if health[i], err = healthStepsOf(cfg.Faults[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	totalSub := cfg.System.Cfg.NumSubarrays()
+
+	// Isolated full-chip execution time per model, the balancer's
+	// backlog estimate unit (same estimate metrics.MinNodes uses).
+	iso := make(map[string]float64, len(cfg.System.Programs))
+	//det:mapiter-ok independent per-key writes into another map
+	for name, p := range cfg.System.Programs {
+		iso[name] = cfg.System.Cfg.Seconds(p.Table(totalSub).TotalCycles)
+	}
+
+	// Observability handles (nil-safe no-ops when off).
+	reg := cfg.Obs.Registry()
+	tracer := cfg.Obs.Tracer()
+	cRequests := reg.Counter("cluster_requests_total")
+	cAdmShed := reg.Counter("cluster_admission_shed_total")
+	cUnroutable := reg.Counter("cluster_unroutable_shed_total")
+	cBatches := reg.Counter("cluster_batches_total")
+	hBatch := reg.Histogram("cluster_batch_size", []float64{1, 2, 4, 8, 16, 32})
+	cDispatch := make([]*obs.Counter, cfg.Chips)
+	for i := range cDispatch {
+		cDispatch[i] = reg.Counter("cluster_dispatch_total", obs.L("chip", fmt.Sprintf("%02d", i)))
+	}
+
+	// Front-door events buffer; stable-sorted by time before export so
+	// dispatch instants interleave correctly with later arrivals.
+	var front []sim.Event
+	record := func(e sim.Event) {
+		if cfg.Trace != nil {
+			front = append(front, e)
+		}
+	}
+
+	out := &Outcome{
+		Finishes:   make([]float64, len(reqs)),
+		Latency:    make([]float64, len(reqs)),
+		Dispatched: make([]int, cfg.Chips),
+		PerChip:    make([]*ChipResult, cfg.Chips),
+	}
+	for i := range out.Finishes {
+		out.Finishes[i] = -1
+	}
+
+	// Stage 1: admission, in arrival order (ties by input index).
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+	})
+	type admitted struct {
+		idx int
+		at  float64
+	}
+	var admits []admitted
+	for _, idx := range order {
+		r := reqs[idx]
+		record(sim.Event{Time: r.Arrival, Kind: sim.EvArrival, Task: r.ID, Model: r.Model})
+		cRequests.Inc()
+		at, ok := admission.admit(r.Level, r.Arrival)
+		if !ok {
+			record(sim.Event{Time: r.Arrival, Kind: sim.EvShed, Task: r.ID, Model: r.Model})
+			cAdmShed.Inc()
+			out.ShedFront++
+			continue
+		}
+		admits = append(admits, admitted{idx: idx, at: at})
+	}
+	sort.SliceStable(admits, func(a, b int) bool { return admits[a].at < admits[b].at })
+
+	// Stage 2+3: batching windows and balanced dispatch, one
+	// chronological walk. Windows open in admit order, so the open-batch
+	// queue is already sorted by close time.
+	batching := cfg.BatchWindow > 0
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = int(math.MaxInt32)
+	}
+	alpha := cfg.BatchAlpha
+	switch {
+	case alpha == 0:
+		alpha = DefaultBatchAlpha
+	case alpha < 0:
+		alpha = 0
+	}
+
+	perChip := make([][]workload.Request, cfg.Chips)
+	var dispatches []dispatchRec
+	busyUntil := make([]float64, cfg.Chips)
+	membersTotal := 0
+
+	dispatch := func(tD float64, members []int) {
+		leader := reqs[members[0]]
+		merged := leader
+		k := len(members)
+		if k > 1 || tD != leader.Arrival {
+			merged.Arrival = tD
+			deadline := leader.Deadline
+			prio := leader.Priority
+			for _, m := range members[1:] {
+				if d := reqs[m].Deadline; d < deadline {
+					deadline = d
+				}
+				if p := reqs[m].Priority; p > prio {
+					prio = p
+				}
+			}
+			merged.Deadline = deadline
+			merged.QoS = deadline - tD
+			merged.Priority = prio
+			if k > 1 {
+				merged.Work = workOf(leader) * (1 + alpha*float64(k-1))
+			}
+		}
+		if batching {
+			record(sim.Event{Time: tD, Kind: sim.EvBatch, Task: merged.ID, Model: merged.Model, Alloc: k})
+			cBatches.Inc()
+			hBatch.Observe(float64(k))
+			if tracer != nil && k > 1 {
+				tracer.Span("cluster/batches", fmt.Sprintf("%s x%d", merged.Model, k),
+					reqs[members[0]].Arrival, tD,
+					obs.Str("model", merged.Model), obs.Num("size", float64(k)))
+			}
+		}
+		views := make([]ChipView, cfg.Chips)
+		for i := range views {
+			outst := busyUntil[i] - tD
+			if outst < 0 {
+				outst = 0
+			}
+			views[i] = ChipView{
+				Index:       i,
+				Healthy:     health[i].aliveAt(tD, totalSub) > 0,
+				Outstanding: outst,
+				Dispatched:  out.Dispatched[i],
+			}
+		}
+		chip := balancer.Pick(merged, tD, views)
+		if chip < 0 {
+			for _, m := range members {
+				record(sim.Event{Time: tD, Kind: sim.EvShed, Task: reqs[m].ID, Model: reqs[m].Model})
+				cUnroutable.Inc()
+				out.ShedFront++
+			}
+			return
+		}
+		record(sim.Event{Time: tD, Kind: sim.EvDispatch, Task: merged.ID, Model: merged.Model, Unit: chip})
+		cDispatch[chip].Inc()
+		busyUntil[chip] = math.Max(busyUntil[chip], tD) + iso[merged.Model]*workOf(merged)
+		if tracer != nil {
+			tracer.Counter("cluster/backlog", fmt.Sprintf("chip %02d", chip), tD, busyUntil[chip]-tD)
+		}
+		out.Dispatched[chip]++
+		out.Batches++
+		membersTotal += k
+		if k > 1 {
+			out.BatchedReqs += k
+		}
+		dispatches = append(dispatches, dispatchRec{
+			time: tD, chip: chip, pos: len(perChip[chip]),
+			members: members, req: merged,
+		})
+		perChip[chip] = append(perChip[chip], merged)
+	}
+
+	open := map[string]*openBatch{}
+	var queue []*openBatch
+	flush := func(until float64) {
+		for len(queue) > 0 {
+			b := queue[0]
+			if b.closed {
+				queue = queue[1:]
+				continue
+			}
+			if b.closeAt > until+1e-12 {
+				return
+			}
+			queue = queue[1:]
+			delete(open, b.model)
+			dispatch(b.closeAt, b.members)
+		}
+	}
+	for _, a := range admits {
+		r := reqs[a.idx]
+		if !batching {
+			dispatch(a.at, []int{a.idx})
+			continue
+		}
+		flush(a.at)
+		b := open[r.Model]
+		if b == nil {
+			b = &openBatch{model: r.Model, closeAt: a.at + cfg.BatchWindow}
+			open[r.Model] = b
+			queue = append(queue, b)
+		}
+		b.members = append(b.members, a.idx)
+		if len(b.members) >= maxBatch {
+			b.closed = true
+			delete(open, r.Model)
+			dispatch(a.at, b.members)
+		}
+	}
+	flush(math.Inf(1))
+
+	if out.Batches > 0 {
+		out.MeanBatchSize = float64(membersTotal) / float64(out.Batches)
+	}
+
+	// Stage 4: run the chips. Each is an independent simulation; fan out
+	// across the worker pool and aggregate in index order.
+	results := make([]*ChipResult, cfg.Chips)
+	errs := make([]error, cfg.Chips)
+	par.ForEach(cfg.Chips, func(i int) {
+		cr := &ChipResult{Requests: perChip[i]}
+		results[i] = cr
+		if cfg.ChipTraces {
+			cr.Trace = &sim.Trace{}
+		}
+		if cfg.Observe {
+			cr.Obs = obs.New()
+		}
+		if len(perChip[i]) == 0 {
+			return
+		}
+		pol := cfg.System.NewPolicy()
+		if ob, ok := pol.(obs.Observable); ok && cr.Obs != nil {
+			ob.SetObserver(cr.Obs)
+		}
+		node := &sim.Node{
+			Cfg:       cfg.System.Cfg,
+			Policy:    pol,
+			Programs:  cfg.System.Programs,
+			Params:    cfg.System.Params,
+			Trace:     cr.Trace,
+			Obs:       cr.Obs,
+			FaultMode: cfg.FaultMode,
+			Shed:      cfg.Shed,
+		}
+		if cfg.Faults != nil && cfg.Faults[i] != nil {
+			node.Faults, errs[i] = fault.NewInjector(cfg.Faults[i])
+			if errs[i] != nil {
+				return
+			}
+		}
+		cr.Outcome, errs[i] = node.Run(perChip[i])
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	out.PerChip = results
+
+	// Stage 5: merge chip outcomes back onto the original stream.
+	for _, d := range dispatches {
+		chipOut := results[d.chip].Outcome
+		fin := chipOut.Finishes[d.pos]
+		for _, m := range d.members {
+			if fin >= 0 {
+				out.Finishes[m] = fin
+				out.Latency[m] = fin - reqs[m].Arrival
+				out.Completed++
+				if reg != nil {
+					reg.Histogram("cluster_latency_seconds", obs.DurationBuckets(),
+						obs.L("model", reqs[m].Model)).Observe(out.Latency[m])
+				}
+			} else if _, ok := cfg.System.Programs[reqs[m].Model]; !ok {
+				out.Rejected++
+			} else {
+				out.ShedChips++
+			}
+		}
+	}
+	firstArrival, lastFinish := math.Inf(1), math.Inf(-1)
+	for i, r := range reqs {
+		if r.Arrival < firstArrival {
+			firstArrival = r.Arrival
+		}
+		if out.Finishes[i] > lastFinish {
+			lastFinish = out.Finishes[i]
+		}
+	}
+	if lastFinish > firstArrival {
+		out.Makespan = lastFinish - firstArrival
+	}
+	for _, cr := range results {
+		if cr.Outcome == nil {
+			continue
+		}
+		out.EnergyJ += cr.Outcome.EnergyJ
+		out.Killed += cr.Outcome.Killed
+		out.Retries += cr.Outcome.Retries
+		out.FaultEvents += cr.Outcome.FaultEvents
+	}
+	out.MeetsSLA = workload.MeetsSLA(reqs, out.Finishes)
+	out.DeadlineFrac = workload.DeadlineFraction(reqs, out.Finishes)
+
+	if cfg.Trace != nil {
+		sort.SliceStable(front, func(a, b int) bool { return front[a].Time < front[b].Time })
+		cfg.Trace.Events = append(cfg.Trace.Events, front...)
+	}
+	return out, nil
+}

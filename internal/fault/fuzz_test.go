@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzFaultScheduleJSON round-trips the schedule file DSL: any input the
+// parser accepts must re-encode to JSON the parser accepts again, with
+// the same semantics. Inputs the parser rejects must be rejected without
+// panicking — the CLI feeds user-authored files straight into ParseJSON.
+func FuzzFaultScheduleJSON(f *testing.F) {
+	f.Add([]byte(`{"units":16,"pods":4,"events":[]}`))
+	f.Add([]byte(`{"units":16,"pods":4,"events":[
+		{"at_ms":5,"kind":"subarray","unit":3},
+		{"at_ms":8,"kind":"pe","unit":7,"row":12,"col":3,"for_ms":4},
+		{"at_ms":12,"kind":"link","unit":1}]}`))
+	f.Add([]byte(`{"units":4,"pods":2,"events":[{"at_ms":0.125,"kind":"subarray","unit":0,"for_ms":0.25}]}`))
+	f.Add([]byte(`{"units":1,"pods":1}`))
+	f.Add([]byte(`{"units":16,"pods":4,"events":[{"at_ms":1,"kind":"dur_ms","unit":0}]}`))
+	f.Add([]byte(`{"units":0,"pods":0}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseJSON(data)
+		if err != nil {
+			return // rejection without panic is the contract
+		}
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted schedule failed to re-encode: %v", err)
+		}
+		s2, err := ParseJSON(enc)
+		if err != nil {
+			t.Fatalf("re-encoded schedule rejected: %v\n%s", err, enc)
+		}
+		if s2.Units != s.Units || s2.Pods != s.Pods {
+			t.Fatalf("dimensions changed: %d/%d -> %d/%d", s.Units, s.Pods, s2.Units, s2.Pods)
+		}
+		if len(s2.Events) != len(s.Events) {
+			t.Fatalf("event count changed: %d -> %d", len(s.Events), len(s2.Events))
+		}
+		// Times survive a ms round-trip only to float precision; everything
+		// else must be exact. Both sides are in the DSL's sorted order.
+		for i, e := range s.Events {
+			e2 := s2.Events[i]
+			if e2.Kind != e.Kind || e2.Unit != e.Unit || e2.Row != e.Row || e2.Col != e.Col {
+				t.Fatalf("event %d changed: %+v -> %+v", i, e, e2)
+			}
+			if !approx(e2.Time, e.Time) || !approx(e2.Duration, e.Duration) {
+				t.Fatalf("event %d timing drifted: (%v,%v) -> (%v,%v)",
+					i, e.Time, e.Duration, e2.Time, e2.Duration)
+			}
+		}
+		// An accepted schedule must always be expandable into an injector.
+		if _, err := NewInjector(s); err != nil {
+			t.Fatalf("accepted schedule rejected by NewInjector: %v", err)
+		}
+	})
+}
+
+// approx compares times to relative float precision (the DSL stores
+// milliseconds, the Schedule seconds).
+func approx(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -165,6 +165,9 @@ func (n *Node) shouldShed(now float64, prog *compiler.Program, r workload.Reques
 		return true
 	}
 	iso := n.Cfg.Seconds(prog.Table(capNow).TotalCycles) / sp
+	if r.Work > 0 {
+		iso *= r.Work // fused batches carry proportionally more work
+	}
 	est := now + iso
 	if n.Shed == ShedPriority {
 		est = now + iso*float64(1+active)/float64(r.Priority)

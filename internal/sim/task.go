@@ -49,6 +49,17 @@ func (t *Task) Done() bool {
 	return t.Layer >= len(t.Prog.Table(1).Layers)
 }
 
+// workScale returns the request's work multiplier: fused cluster batches
+// carry Work > 1 so one allocation retires the whole batch at the
+// amortized cost. Zero (every pre-cluster request) means exactly 1, and
+// the scale-1 paths below are bit-identical to the unscaled originals.
+func (t *Task) workScale() float64 {
+	if t.Req.Work > 0 {
+		return t.Req.Work
+	}
+	return 1
+}
+
 // RemainingCycles returns the cycles left if the task ran on alloc
 // subarrays from its current progress (plus any outstanding penalty).
 func (t *Task) RemainingCycles(alloc int) int64 {
@@ -58,7 +69,11 @@ func (t *Task) RemainingCycles(alloc int) int64 {
 	tab := t.Prog.Table(alloc)
 	lp := tab.Layers[t.Layer]
 	tilesDone := int64(t.Frac * float64(lp.Tiles))
-	return tab.RemainingCycles(t.Layer, tilesDone) + t.PenaltyCycles
+	rem := tab.RemainingCycles(t.Layer, tilesDone)
+	if s := t.workScale(); s != 1 {
+		rem = int64(float64(rem) * s)
+	}
+	return rem + t.PenaltyCycles
 }
 
 // Slack returns the time remaining until the task's deadline.
@@ -80,10 +95,19 @@ func (t *Task) advance(dtCycles int64, params energy.Params) int64 {
 		consumed += pay
 	}
 	tab := t.Prog.Table(t.Alloc)
+	scale := t.workScale()
 	for consumed < dtCycles && !t.Done() {
 		lp := &tab.Layers[t.Layer]
+		// A scaled layer stretches uniformly: cycles and dynamic energy
+		// both multiply by the work factor, tile structure is unchanged.
+		layerCycles := float64(lp.Cycles)
+		layerJoules := lp.Acct.Joules(params)
+		if scale != 1 {
+			layerCycles *= scale
+			layerJoules *= scale
+		}
 		remFrac := 1 - t.Frac
-		remCycles := int64(remFrac * float64(lp.Cycles))
+		remCycles := int64(remFrac * layerCycles)
 		if remCycles <= 0 {
 			remCycles = 1
 		}
@@ -91,16 +115,16 @@ func (t *Task) advance(dtCycles int64, params energy.Params) int64 {
 		if budget >= remCycles {
 			// Finish this layer.
 			consumed += remCycles
-			t.EnergyJ += remFrac * lp.Acct.Joules(params)
+			t.EnergyJ += remFrac * layerJoules
 			t.Layer++
 			t.Frac = 0
 		} else {
-			df := float64(budget) / float64(lp.Cycles)
+			df := float64(budget) / layerCycles
 			t.Frac += df
 			if t.Frac > 1 {
 				t.Frac = 1
 			}
-			t.EnergyJ += df * lp.Acct.Joules(params)
+			t.EnergyJ += df * layerJoules
 			consumed += budget
 		}
 	}

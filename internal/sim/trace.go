@@ -43,6 +43,15 @@ const (
 	// faulted unit index, Up distinguishes repair from landing, and Model
 	// carries the fault kind name ("pe", "subarray", "link").
 	EvFault
+	// EvBatch marks a cluster dynamic-batching window closing: Task is
+	// the batch leader's request ID, Alloc carries the batch size, Model
+	// the batched model. Only cluster front-door traces contain it; chip
+	// traces never do.
+	EvBatch
+	// EvDispatch marks the cluster balancer assigning a request (or batch
+	// leader) to a chip: Unit is the chip index. Only cluster front-door
+	// traces contain it.
+	EvDispatch
 )
 
 // String names the event kind.
@@ -68,6 +77,10 @@ func (k EventKind) String() string {
 		return "reject"
 	case EvFault:
 		return "fault"
+	case EvBatch:
+		return "batch"
+	case EvDispatch:
+		return "dispatch"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -181,6 +194,13 @@ func (tr *Trace) Validate() error {
 			finished[e.Task] = true
 		case EvFault:
 			// Not bound to a task; nothing beyond time monotonicity.
+		case EvBatch, EvDispatch:
+			if !arrived[e.Task] {
+				return fmt.Errorf("sim: task %d %s before arrival", e.Task, e.Kind)
+			}
+			if finished[e.Task] {
+				return fmt.Errorf("sim: task %d %s after finishing", e.Task, e.Kind)
+			}
 		case EvFinish:
 			if !arrived[e.Task] {
 				return fmt.Errorf("sim: task %d finished before arrival", e.Task)
@@ -215,6 +235,12 @@ func (tr *Trace) String() string {
 		case EvKill, EvRetry:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s attempt %d\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model, e.Attempt)
+		case EvBatch:
+			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s size %d\n",
+				e.Time*1e3, e.Kind, e.Task, e.Model, e.Alloc)
+		case EvDispatch:
+			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s -> chip %d\n",
+				e.Time*1e3, e.Kind, e.Task, e.Model, e.Unit)
 		default:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model)

@@ -96,6 +96,15 @@ type Request struct {
 	Priority int     // 1..11, higher is more important
 	QoS      float64 // latency bound in seconds
 	Deadline float64 // Arrival + QoS
+	// Level names the QoS level the request was generated under
+	// ("QoS-S", "QoS-M", "QoS-H"). The cluster admission controller keys
+	// its token buckets on it; empty means unclassified.
+	Level string
+	// Work multiplies the request's compiled-program cycle counts (and
+	// dynamic energy). The cluster batching stage uses it to model a
+	// fused batch: k inferences sharing one allocation cost
+	// 1 + α·(k−1) single-inference runs, not k. Zero means 1.
+	Work float64
 }
 
 // Generate draws n requests from the scenario at mean rate qps under the
@@ -129,6 +138,7 @@ func Generate(sc Scenario, level QoSLevel, qps float64, n int, seed int64) ([]Re
 			Priority: rng.Intn(11) + 1,
 			QoS:      qos,
 			Deadline: t + qos,
+			Level:    level.Name,
 		})
 	}
 	return reqs, nil
