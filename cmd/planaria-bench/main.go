@@ -4,12 +4,20 @@
 // Usage:
 //
 //	planaria-bench [-bench regexp] [-pkg pattern] [-benchtime 1x] [-out BENCH_serving.json]
+//	               [-baseline BENCH_serving.json] [-regress 20]
 //
 // It shells out to `go test -run=^$ -bench=... -benchmem`, relays the
 // textual output, parses the result lines (including every custom
 // b.ReportMetric quantity the serving benchmarks emit), and encodes them
 // as deterministic JSON sorted by benchmark name. CI's bench-smoke step
 // runs it at -benchtime=1x and uploads the artifact.
+//
+// With -baseline, the fresh results are additionally compared against a
+// committed report: any benchmark present in both whose ns/op or
+// allocs/op grew by more than -regress percent fails the run. This is
+// the regression gate the event-engine work installed — allocs/op is
+// deterministic, so alloc regressions are caught exactly; ns/op gets
+// the percentage headroom to absorb machine noise.
 package main
 
 import (
@@ -24,20 +32,22 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "Benchmark(Fig|Table|Serve)", "benchmark name regexp passed to go test -bench")
+	bench := flag.String("bench", "Benchmark(Fig|Table|Serve|Cluster)", "benchmark name regexp passed to go test -bench")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	out := flag.String("out", "BENCH_serving.json", "output JSON path")
 	timeout := flag.String("timeout", "20m", "go test -timeout value")
+	baseline := flag.String("baseline", "", "committed report to gate against (empty: no gate)")
+	regress := flag.Float64("regress", 20, "percent growth in ns/op or allocs/op that fails the -baseline gate")
 	flag.Parse()
 
-	if err := run(*bench, *pkg, *benchtime, *timeout, *out); err != nil {
+	if err := run(*bench, *pkg, *benchtime, *timeout, *out, *baseline, *regress); err != nil {
 		fmt.Fprintln(os.Stderr, "planaria-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, pkg, benchtime, timeout, out string) error {
+func run(bench, pkg, benchtime, timeout, out, baseline string, regress float64) error {
 	args := []string{"test", "-run=^$", "-bench=" + bench,
 		"-benchtime=" + benchtime, "-benchmem", "-timeout=" + timeout, pkg}
 	cmd := exec.Command("go", args...)
@@ -64,5 +74,24 @@ func run(bench, pkg, benchtime, timeout, out string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d results)\n", out, len(rep.Results))
+
+	if baseline == "" {
+		return nil
+	}
+	base, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	baseRep, err := obs.LoadBenchReport(base)
+	if err != nil {
+		return err
+	}
+	if regs := obs.CompareBench(baseRep, rep, regress); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "regression:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed more than %g%% vs %s", len(regs), regress, baseline)
+	}
+	fmt.Printf("baseline gate passed: no benchmark regressed more than %g%% vs %s\n", regress, baseline)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"planaria/internal/simtime"
 )
 
 // TokenBucket is the admission budget of one QoS level: tokens refill
@@ -54,7 +56,7 @@ type bucketState struct {
 func (b *bucketState) admit(t float64) (float64, bool) {
 	// Grants whose instant has passed are no longer queued.
 	drop := 0
-	for drop < len(b.waiting) && b.waiting[drop] <= t+1e-12 {
+	for drop < len(b.waiting) && simtime.Due(b.waiting[drop], t) {
 		drop++
 	}
 	b.waiting = b.waiting[drop:]
@@ -65,7 +67,7 @@ func (b *bucketState) admit(t float64) (float64, bool) {
 	if n := len(b.waiting); n > 0 && b.waiting[n-1] > at {
 		at = b.waiting[n-1] // FIFO within the level
 	}
-	if at > t+1e-12 {
+	if simtime.After(at, t) {
 		if len(b.waiting) >= b.cfg.MaxQueue {
 			return 0, false
 		}

@@ -27,12 +27,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"planaria/internal/fault"
 	"planaria/internal/metrics"
 	"planaria/internal/obs"
 	"planaria/internal/par"
 	"planaria/internal/sim"
+	"planaria/internal/simtime"
 	"planaria/internal/workload"
 )
 
@@ -224,29 +226,83 @@ func (h *healthSteps) aliveAt(t float64, total int) int {
 		return total
 	}
 	// Last step at or before t.
-	idx := sort.Search(len(h.times), func(i int) bool { return h.times[i] > t+1e-12 })
+	idx := sort.Search(len(h.times), func(i int) bool { return simtime.After(h.times[i], t) })
 	if idx == 0 {
 		return total
 	}
 	return h.alive[idx-1]
 }
 
-// dispatchRec is one routed dispatch group: the merged request given to
-// the chip and the input indices whose completions fan out from it.
+// dispatchRec is one routed dispatch group: the chip it went to, its
+// position within the chip's request slice, and the input indices whose
+// completions fan out from it. The merged request's adjusted fields are
+// captured as scalars at routing time so the layout phase can rebuild
+// it straight into the escaping backing array — a leader copy plus five
+// scalar writes — with no intermediate merged-request buffer to pool,
+// copy out of, and GC-scan.
 type dispatchRec struct {
-	time    float64
-	chip    int
-	pos     int // position within the chip's request slice
-	members []int
-	req     workload.Request
+	chip     int
+	pos      int // position within the chip's request slice
+	members  []int
+	at       float64 // merged Arrival (dispatch time)
+	deadline float64 // merged Deadline (tightest member)
+	qos      float64 // deadline - at
+	prio     int     // merged Priority (highest member)
+	work     float64 // merged Work (fused batch cost multiplier)
 }
 
 // openBatch is one in-flight batching window.
 type openBatch struct {
-	model   string
+	model   int // interned model ID (see admitted.model)
 	closeAt float64
 	members []int
 	closed  bool
+}
+
+// admitted is one stage-1 grant: the input index and its admit instant.
+// admitted is one admitted request: its input position, admission
+// instant, and interned model ID (position in the run's first-seen model
+// list, captured while the request's cache line is hot so the batching
+// stage never re-gathers through the 96-byte-stride request array).
+// int32 positions keep the record at 16 pointer-free bytes — the admits
+// buffer is the largest piece of pooled scratch, and at serving scale
+// its footprint is pure memory traffic.
+type admitted struct {
+	at    float64
+	idx   int32
+	model int32
+}
+
+// runScratch holds Run's large working buffers that never escape the
+// call, recycled through a sync.Pool so back-to-back runs (sweeps,
+// benchmarks) stop paying a large-allocation zeroing tax per run. Every
+// buffer is append-from-empty or fully rewritten before reads, so stale
+// contents can never influence a run; retained memory is bounded by the
+// largest run's high-water mark (and dropped wholesale at GC, as for
+// any sync.Pool).
+type runScratch struct {
+	admits      []admitted
+	works       []float64
+	arrs        []float64
+	dls         []float64
+	prios       []int32
+	doms        []uint8
+	dispatches  []dispatchRec
+	memberArena []int
+	frontA      []sim.Event
+	frontB      []sim.Event
+	batchPool   []*openBatch // free list of recycled batch windows
+	queue       []*openBatch // FIFO of open windows, reused run to run
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// grow returns buf emptied with capacity for at least n elements.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, 0, n)
+	}
+	return buf[:0]
 }
 
 // Run serves the request stream through the cluster front end and the N
@@ -272,14 +328,6 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[int]bool, len(reqs))
-	for _, r := range reqs {
-		if seen[r.ID] {
-			return nil, fmt.Errorf("cluster: duplicate request ID %d", r.ID)
-		}
-		seen[r.ID] = true
-	}
-
 	// Per-chip health timelines for routing.
 	health := make([]*healthSteps, cfg.Chips)
 	for i := range health {
@@ -311,13 +359,64 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	for i := range cDispatch {
 		cDispatch[i] = reg.Counter("cluster_dispatch_total", obs.L("chip", fmt.Sprintf("%02d", i)))
 	}
+	// Per-chip backlog counter track names, rendered once instead of per
+	// dispatch.
+	var chipNames []string
+	if tracer != nil {
+		chipNames = make([]string, cfg.Chips)
+		for i := range chipNames {
+			chipNames[i] = fmt.Sprintf("chip %02d", i)
+		}
+	}
 
-	// Front-door events buffer; stable-sorted by time before export so
-	// dispatch instants interleave correctly with later arrivals.
-	var front []sim.Event
+	// Front-door events accumulate in two runs, each appended in
+	// non-decreasing time order: frontA holds the stage-1 arrival/shed
+	// events, frontB the dispatch-time events. Export merges them stably
+	// (A first on ties) — byte-identical to stable-sorting one combined
+	// buffer, without the O(n log n) re-sort (see exportFront).
+	// Large non-escaping buffers come from the run-scratch pool; see
+	// runScratch for the reuse contract.
+	batching := cfg.BatchWindow > 0
+	sc := scratchPool.Get().(*runScratch)
+	admits := grow(sc.admits, len(reqs))
+	works := grow(sc.works, len(reqs))[:len(reqs)]
+	arrs := grow(sc.arrs, len(reqs))[:len(reqs)]
+	dls := grow(sc.dls, len(reqs))[:len(reqs)]
+	prios := grow(sc.prios, len(reqs))[:len(reqs)]
+	doms := grow(sc.doms, len(reqs))[:len(reqs)]
+	dispCap := 0
+	if !batching {
+		dispCap = len(reqs)
+	}
+	dispatches := grow(sc.dispatches, dispCap)
+	memberArena := grow(sc.memberArena, len(reqs))
+	frontA, frontB := sc.frontA[:0], sc.frontB[:0]
+	if cfg.Trace != nil {
+		frontA = grow(sc.frontA, 2*len(reqs))
+		frontB = grow(sc.frontB, 2*len(reqs))
+	}
+	batchPool := sc.batchPool
+	queue := sc.queue[:0]
+	defer func() {
+		sc.admits, sc.works, sc.dispatches = admits[:0], works[:0], dispatches[:0]
+		sc.arrs, sc.dls, sc.prios, sc.doms = arrs[:0], dls[:0], prios[:0], doms[:0]
+		sc.memberArena = memberArena[:0]
+		sc.frontA, sc.frontB = frontA[:0], frontB[:0]
+		sc.batchPool, sc.queue = batchPool, queue[:0]
+		scratchPool.Put(sc)
+	}()
+	// Call sites guard on tracing before building an event: constructing
+	// the sim.Event argument costs real time per request even when the
+	// closure would just drop it.
+	tracing := cfg.Trace != nil
 	record := func(e sim.Event) {
-		if cfg.Trace != nil {
-			front = append(front, e)
+		if tracing {
+			frontA = append(frontA, e)
+		}
+	}
+	recordB := func(e sim.Event) {
+		if tracing {
+			frontB = append(frontB, e)
 		}
 	}
 
@@ -327,42 +426,150 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		Dispatched: make([]int, cfg.Chips),
 		PerChip:    make([]*ChipResult, cfg.Chips),
 	}
-	for i := range out.Finishes {
+	// One pass over the input stream extracts everything the later stages
+	// need from it: the identity-ID fast path (ID == input index, what
+	// workload.Generate emits, is trivially unique and skips the map),
+	// arrival monotonicity, the memoized work multipliers, a flat copy of
+	// the arrival times (the completion merge then touches 8 bytes per
+	// request instead of the whole record), the earliest arrival, and the
+	// not-yet-completed marker fill.
+	identityIDs := true
+	arrivalsSorted := true
+	firstArrival := math.Inf(1)
+	prevArr := math.Inf(-1)
+	// Domains intern in first-sight order (the order SLAOutcome would
+	// tally them); the ID column feeds the flat SLA pass at the end.
+	// More than 255 distinct domains overflows the uint8 column and
+	// falls back to the record-walking SLA path.
+	var domNames []string
+	domOverflow := false
+	for i := range reqs {
+		r := &reqs[i]
+		if r.ID != i {
+			identityIDs = false
+		}
+		if r.Arrival < prevArr {
+			arrivalsSorted = false
+		}
+		prevArr = r.Arrival
+		arrs[i] = r.Arrival
+		if r.Arrival < firstArrival {
+			firstArrival = r.Arrival
+		}
+		if r.Work > 0 {
+			works[i] = r.Work
+		} else {
+			works[i] = 1
+		}
+		dls[i] = r.Deadline
+		prios[i] = int32(r.Priority)
+		domID := -1
+		for j, d := range domNames {
+			if d == r.Domain {
+				domID = j
+				break
+			}
+		}
+		if domID < 0 {
+			if len(domNames) >= 256 {
+				domOverflow = true
+				domID = 0
+			} else {
+				domID = len(domNames)
+				domNames = append(domNames, r.Domain)
+			}
+		}
+		doms[i] = uint8(domID)
 		out.Finishes[i] = -1
 	}
+	if !identityIDs {
+		seen := make(map[int]bool, len(reqs))
+		for i := range reqs {
+			if seen[reqs[i].ID] {
+				return nil, fmt.Errorf("cluster: duplicate request ID %d", reqs[i].ID)
+			}
+			seen[reqs[i].ID] = true
+		}
+	}
 
-	// Stage 1: admission, in arrival order (ties by input index).
-	order := make([]int, len(reqs))
-	for i := range order {
-		order[i] = i
+	// Stage 1: admission, in arrival order (ties by input index). A
+	// pre-sorted stream — the generator's natural order — needs no index
+	// permutation: the stable sort would be the identity.
+	var order []int
+	if !arrivalsSorted {
+		order = make([]int, len(reqs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+		})
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
-	})
-	type admitted struct {
-		idx int
-		at  float64
+	// Model IDs intern on first sight; the handful of models makes a
+	// linear scan with string equality's pointer fast path cheaper than
+	// hashing, exactly like the open-window list below. Each interned ID
+	// also caches the model's isolated-seconds estimate so the dispatch
+	// loop indexes a flat slice instead of hashing the model name.
+	var modelNames []string
+	var isoByID []float64
+	internModel := func(name string) int {
+		for i, m := range modelNames {
+			if m == name {
+				return i
+			}
+		}
+		modelNames = append(modelNames, name)
+		isoByID = append(isoByID, iso[name])
+		return len(modelNames) - 1
 	}
-	var admits []admitted
-	for _, idx := range order {
-		r := reqs[idx]
-		record(sim.Event{Time: r.Arrival, Kind: sim.EvArrival, Task: r.ID, Model: r.Model})
+	admitOne := func(idx int) {
+		r := &reqs[idx]
+		if tracing {
+			record(sim.Event{Time: r.Arrival, Kind: sim.EvArrival, Task: r.ID, Model: r.Model})
+		}
 		cRequests.Inc()
-		at, ok := admission.admit(r.Level, r.Arrival)
+		// With no admission control configured (admission == nil) the
+		// answer is always (arrival, true); hoisting the nil check here
+		// saves a non-inlined method call per request.
+		at, ok := r.Arrival, true
+		if admission != nil {
+			at, ok = admission.admit(r.Level, r.Arrival)
+		}
 		if !ok {
-			record(sim.Event{Time: r.Arrival, Kind: sim.EvShed, Task: r.ID, Model: r.Model})
+			if tracing {
+				record(sim.Event{Time: r.Arrival, Kind: sim.EvShed, Task: r.ID, Model: r.Model})
+			}
 			cAdmShed.Inc()
 			out.ShedFront++
-			continue
+			return
 		}
-		admits = append(admits, admitted{idx: idx, at: at})
+		admits = append(admits, admitted{at: at, idx: int32(idx), model: int32(internModel(r.Model))})
 	}
-	sort.SliceStable(admits, func(a, b int) bool { return admits[a].at < admits[b].at })
+	if arrivalsSorted {
+		for idx := range reqs {
+			admitOne(idx)
+		}
+	} else {
+		for _, idx := range order {
+			admitOne(idx)
+		}
+	}
+	// Admission delays can reorder admits only when buckets queue; the
+	// common no-queue run is already sorted and skips the re-sort too.
+	admitsSorted := true
+	for i := 1; i < len(admits); i++ {
+		if admits[i].at < admits[i-1].at {
+			admitsSorted = false
+			break
+		}
+	}
+	if !admitsSorted {
+		sort.SliceStable(admits, func(a, b int) bool { return admits[a].at < admits[b].at })
+	}
 
 	// Stage 2+3: batching windows and balanced dispatch, one
 	// chronological walk. Windows open in admit order, so the open-batch
 	// queue is already sorted by close time.
-	batching := cfg.BatchWindow > 0
 	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 {
 		maxBatch = int(math.MaxInt32)
@@ -375,71 +582,113 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		alpha = 0
 	}
 
-	perChip := make([][]workload.Request, cfg.Chips)
-	var dispatches []dispatchRec
+	// Dispatch groups accumulate as routing records in dispatches; the
+	// escaping per-chip request slices are carved out of one exactly-sized
+	// backing array after the dispatch loop — two phases instead of
+	// ragged per-chip append growth.
+	chipCounts := make([]int, cfg.Chips)
 	busyUntil := make([]float64, cfg.Chips)
 	membersTotal := 0
+	// One reusable balancer-view buffer: every field of every entry is
+	// rewritten per dispatch and no built-in balancer retains the slice.
+	views := make([]ChipView, cfg.Chips)
+	// least-work consults only health and the clamped backlog, both of
+	// which the dispatch loop already has in hand — picking directly
+	// skips materializing a ChipView per chip per dispatch. The pick is
+	// the same argmin with the same lowest-index tie-break.
+	_, lwFast := balancer.(leastWork)
 
-	dispatch := func(tD float64, members []int) {
-		leader := reqs[members[0]]
-		merged := leader
+	dispatch := func(tD float64, members []int, model int) {
+		m0 := members[0]
+		leader := &reqs[m0]
 		k := len(members)
+		mw := works[m0]
+		// The merged request exists only as scalars here: phase two
+		// rebuilds the dispatched Request from the leader plus these
+		// values, so materializing a 96-byte Request per dispatch would
+		// be pure copy traffic. Only the pluggable-balancer path below
+		// still builds one (Pick takes a Request by value).
+		at, deadline, qos := leader.Arrival, leader.Deadline, leader.QoS
+		prio, work := leader.Priority, leader.Work
 		if k > 1 || tD != leader.Arrival {
-			merged.Arrival = tD
-			deadline := leader.Deadline
-			prio := leader.Priority
+			at = tD
 			for _, m := range members[1:] {
-				if d := reqs[m].Deadline; d < deadline {
+				if d := dls[m]; d < deadline {
 					deadline = d
 				}
-				if p := reqs[m].Priority; p > prio {
+				if p := int(prios[m]); p > prio {
 					prio = p
 				}
 			}
-			merged.Deadline = deadline
-			merged.QoS = deadline - tD
-			merged.Priority = prio
+			qos = deadline - tD
 			if k > 1 {
-				merged.Work = workOf(leader) * (1 + alpha*float64(k-1))
+				mw *= 1 + alpha*float64(k-1)
+				work = mw
 			}
 		}
 		if batching {
-			record(sim.Event{Time: tD, Kind: sim.EvBatch, Task: merged.ID, Model: merged.Model, Alloc: k})
+			if tracing {
+				recordB(sim.Event{Time: tD, Kind: sim.EvBatch, Task: leader.ID, Model: leader.Model, Alloc: k})
+			}
 			cBatches.Inc()
 			hBatch.Observe(float64(k))
 			if tracer != nil && k > 1 {
-				tracer.Span("cluster/batches", fmt.Sprintf("%s x%d", merged.Model, k),
+				tracer.Span("cluster/batches", fmt.Sprintf("%s x%d", leader.Model, k),
 					reqs[members[0]].Arrival, tD,
-					obs.Str("model", merged.Model), obs.Num("size", float64(k)))
+					obs.Str("model", leader.Model), obs.Num("size", float64(k)))
 			}
 		}
-		views := make([]ChipView, cfg.Chips)
-		for i := range views {
-			outst := busyUntil[i] - tD
-			if outst < 0 {
-				outst = 0
+		var chip int
+		if lwFast {
+			chip = -1
+			var bestOut float64
+			for i := range busyUntil {
+				if health[i].aliveAt(tD, totalSub) <= 0 {
+					continue
+				}
+				outst := busyUntil[i] - tD
+				if outst < 0 {
+					outst = 0
+				}
+				if chip < 0 || outst < bestOut {
+					chip, bestOut = i, outst
+				}
 			}
-			views[i] = ChipView{
-				Index:       i,
-				Healthy:     health[i].aliveAt(tD, totalSub) > 0,
-				Outstanding: outst,
-				Dispatched:  out.Dispatched[i],
+		} else {
+			for i := range views {
+				outst := busyUntil[i] - tD
+				if outst < 0 {
+					outst = 0
+				}
+				views[i] = ChipView{
+					Index:       i,
+					Healthy:     health[i].aliveAt(tD, totalSub) > 0,
+					Outstanding: outst,
+					Dispatched:  out.Dispatched[i],
+				}
 			}
+			merged := *leader
+			merged.Arrival, merged.Deadline, merged.QoS = at, deadline, qos
+			merged.Priority, merged.Work = prio, work
+			chip = balancer.Pick(merged, tD, views)
 		}
-		chip := balancer.Pick(merged, tD, views)
 		if chip < 0 {
 			for _, m := range members {
-				record(sim.Event{Time: tD, Kind: sim.EvShed, Task: reqs[m].ID, Model: reqs[m].Model})
+				if tracing {
+					recordB(sim.Event{Time: tD, Kind: sim.EvShed, Task: reqs[m].ID, Model: reqs[m].Model})
+				}
 				cUnroutable.Inc()
 				out.ShedFront++
 			}
 			return
 		}
-		record(sim.Event{Time: tD, Kind: sim.EvDispatch, Task: merged.ID, Model: merged.Model, Unit: chip})
+		if tracing {
+			recordB(sim.Event{Time: tD, Kind: sim.EvDispatch, Task: leader.ID, Model: leader.Model, Unit: chip})
+		}
 		cDispatch[chip].Inc()
-		busyUntil[chip] = math.Max(busyUntil[chip], tD) + iso[merged.Model]*workOf(merged)
+		busyUntil[chip] = math.Max(busyUntil[chip], tD) + isoByID[model]*mw
 		if tracer != nil {
-			tracer.Counter("cluster/backlog", fmt.Sprintf("chip %02d", chip), tD, busyUntil[chip]-tD)
+			tracer.Counter("cluster/backlog", chipNames[chip], tD, busyUntil[chip]-tD)
 		}
 		out.Dispatched[chip]++
 		out.Batches++
@@ -448,47 +697,107 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			out.BatchedReqs += k
 		}
 		dispatches = append(dispatches, dispatchRec{
-			time: tD, chip: chip, pos: len(perChip[chip]),
-			members: members, req: merged,
+			chip: chip, pos: chipCounts[chip], members: members,
+			at: at, deadline: deadline, qos: qos,
+			prio: prio, work: work,
 		})
-		perChip[chip] = append(perChip[chip], merged)
+		chipCounts[chip]++
 	}
 
-	open := map[string]*openBatch{}
-	var queue []*openBatch
-	flush := func(until float64) {
-		for len(queue) > 0 {
-			b := queue[0]
-			if b.closed {
-				queue = queue[1:]
-				continue
+	// Every dispatch group's member list is carved out of one arena (each
+	// admit joins at most one group, so len(admits) bounds the total);
+	// batch windows copy their members in at close time so the window
+	// records themselves recycle through the scratch free list.
+	takeMembers := func(members []int) []int {
+		start := len(memberArena)
+		memberArena = append(memberArena, members...)
+		return memberArena[start:len(memberArena):len(memberArena)]
+	}
+	memberCap := maxBatch
+	if memberCap > 8 {
+		memberCap = 8
+	}
+	newBatch := func(model int, closeAt float64) *openBatch {
+		if n := len(batchPool); n > 0 {
+			b := batchPool[n-1]
+			batchPool = batchPool[:n-1]
+			b.model, b.closeAt, b.closed = model, closeAt, false
+			b.members = b.members[:0]
+			return b
+		}
+		return &openBatch{model: model, closeAt: closeAt, members: make([]int, 0, memberCap)}
+	}
+	// The handful of concurrently open windows (one per model) lives in a
+	// small list: a linear scan beats per-admit string hashing, and there
+	// is no map to keep planaria-vet's iteration checker away from.
+	var openList []*openBatch
+	findOpen := func(model int) *openBatch {
+		for _, b := range openList {
+			if b.model == model {
+				return b
 			}
-			if b.closeAt > until+1e-12 {
+		}
+		return nil
+	}
+	removeOpen := func(b *openBatch) {
+		for i, x := range openList {
+			if x == b {
+				openList = append(openList[:i], openList[i+1:]...)
 				return
 			}
-			queue = queue[1:]
-			delete(open, b.model)
-			dispatch(b.closeAt, b.members)
 		}
 	}
+	// The window FIFO advances by head index, not by re-slicing: a
+	// queue[1:] walk marches the append head off the backing array and
+	// allocates a fresh tiny slice per window (one per batch — the
+	// dominant allocation at scale). Draining rewinds to the front, and
+	// in-place compaction bounds the backing at the open-window
+	// high-water mark; both preserve FIFO order exactly.
+	qHead := 0
+	flush := func(until float64) {
+		for qHead < len(queue) {
+			b := queue[qHead]
+			if b.closed {
+				qHead++
+				batchPool = append(batchPool, b)
+				continue
+			}
+			if simtime.After(b.closeAt, until) {
+				if qHead > 64 && 2*qHead >= len(queue) {
+					n := copy(queue, queue[qHead:])
+					queue = queue[:n]
+					qHead = 0
+				}
+				return
+			}
+			qHead++
+			removeOpen(b)
+			dispatch(b.closeAt, takeMembers(b.members), b.model)
+			batchPool = append(batchPool, b)
+		}
+		queue, qHead = queue[:0], 0
+	}
 	for _, a := range admits {
-		r := reqs[a.idx]
 		if !batching {
-			dispatch(a.at, []int{a.idx})
+			// Single-request group: a one-element capped sub-slice of the
+			// arena, no per-request allocation.
+			memberArena = append(memberArena, int(a.idx))
+			dispatch(a.at, memberArena[len(memberArena)-1:len(memberArena):len(memberArena)], int(a.model))
 			continue
 		}
+		model := int(a.model)
 		flush(a.at)
-		b := open[r.Model]
+		b := findOpen(model)
 		if b == nil {
-			b = &openBatch{model: r.Model, closeAt: a.at + cfg.BatchWindow}
-			open[r.Model] = b
+			b = newBatch(model, a.at+cfg.BatchWindow)
+			openList = append(openList, b)
 			queue = append(queue, b)
 		}
-		b.members = append(b.members, a.idx)
+		b.members = append(b.members, int(a.idx))
 		if len(b.members) >= maxBatch {
 			b.closed = true
-			delete(open, r.Model)
-			dispatch(a.at, b.members)
+			removeOpen(b)
+			dispatch(a.at, takeMembers(b.members), b.model)
 		}
 	}
 	flush(math.Inf(1))
@@ -497,11 +806,39 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		out.MeanBatchSize = float64(membersTotal) / float64(out.Batches)
 	}
 
-	// Stage 4: run the chips. Each is an independent simulation; fan out
-	// across the worker pool and aggregate in index order.
+	// Phase two of dispatch: lay the routed groups out per chip. The
+	// backing array escapes into ChipResult.Requests, so it is a real
+	// allocation — but exactly one, exactly sized. Capacities are capped
+	// (three-index slices) so a caller appending to one chip's Requests
+	// reallocates instead of clobbering its neighbour. Each merged
+	// request is rebuilt in place from its leader plus the scalars the
+	// dispatchRec captured; dispatch order within a chip matches d.pos
+	// by construction.
+	perChip := make([][]workload.Request, cfg.Chips)
+	backing := make([]workload.Request, len(dispatches))
+	offs := make([]int, cfg.Chips)
+	off := 0
+	for i, n := range chipCounts {
+		offs[i] = off
+		perChip[i] = backing[off : off+n : off+n]
+		off += n
+	}
+	for i := range dispatches {
+		d := &dispatches[i]
+		m := &backing[offs[d.chip]+d.pos]
+		*m = reqs[d.members[0]]
+		m.Arrival, m.Deadline, m.QoS = d.at, d.deadline, d.qos
+		m.Priority, m.Work = d.prio, d.work
+	}
+
+	// Stage 4: run the chips — one shard (goroutine) per chip, since each
+	// chip is one long independent simulation and the chip count is small.
+	// Writes stay confined to index i; the merge below walks dispatch
+	// records in virtual-time order, so the aggregate is deterministic no
+	// matter how the shards interleave.
 	results := make([]*ChipResult, cfg.Chips)
 	errs := make([]error, cfg.Chips)
-	par.ForEach(cfg.Chips, func(i int) {
+	par.PerItem(cfg.Chips, func(i int) {
 		cr := &ChipResult{Requests: perChip[i]}
 		results[i] = cr
 		if cfg.ChipTraces {
@@ -540,18 +877,32 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	}
 	out.PerChip = results
 
-	// Stage 5: merge chip outcomes back onto the original stream.
+	// Stage 5: merge chip outcomes back onto the original stream. The
+	// latency histogram handles are interned per model up front —
+	// registry lookups and bucket-bound slices are off the per-request
+	// path.
+	var latHists map[string]*obs.Histogram
+	var durBounds []float64
+	if reg != nil {
+		latHists = make(map[string]*obs.Histogram, len(cfg.System.Programs))
+		durBounds = obs.DurationBuckets()
+	}
 	for _, d := range dispatches {
 		chipOut := results[d.chip].Outcome
 		fin := chipOut.Finishes[d.pos]
 		for _, m := range d.members {
 			if fin >= 0 {
 				out.Finishes[m] = fin
-				out.Latency[m] = fin - reqs[m].Arrival
+				out.Latency[m] = fin - arrs[m]
 				out.Completed++
 				if reg != nil {
-					reg.Histogram("cluster_latency_seconds", obs.DurationBuckets(),
-						obs.L("model", reqs[m].Model)).Observe(out.Latency[m])
+					h := latHists[reqs[m].Model]
+					if h == nil {
+						h = reg.Histogram("cluster_latency_seconds", durBounds,
+							obs.L("model", reqs[m].Model))
+						latHists[reqs[m].Model] = h
+					}
+					h.Observe(out.Latency[m])
 				}
 			} else if _, ok := cfg.System.Programs[reqs[m].Model]; !ok {
 				out.Rejected++
@@ -560,11 +911,8 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			}
 		}
 	}
-	firstArrival, lastFinish := math.Inf(1), math.Inf(-1)
-	for i, r := range reqs {
-		if r.Arrival < firstArrival {
-			firstArrival = r.Arrival
-		}
+	lastFinish := math.Inf(-1)
+	for i := range out.Finishes {
 		if out.Finishes[i] > lastFinish {
 			lastFinish = out.Finishes[i]
 		}
@@ -581,12 +929,55 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		out.Retries += cr.Outcome.Retries
 		out.FaultEvents += cr.Outcome.FaultEvents
 	}
-	out.MeetsSLA = workload.MeetsSLA(reqs, out.Finishes)
-	out.DeadlineFrac = workload.DeadlineFraction(reqs, out.Finishes)
+	if domOverflow {
+		out.MeetsSLA, out.DeadlineFrac = workload.SLAOutcome(reqs, out.Finishes)
+	} else {
+		out.MeetsSLA, out.DeadlineFrac = workload.SLAOutcomeFlat(doms, domNames, dls, out.Finishes)
+	}
 
 	if cfg.Trace != nil {
-		sort.SliceStable(front, func(a, b int) bool { return front[a].Time < front[b].Time })
-		cfg.Trace.Events = append(cfg.Trace.Events, front...)
+		exportFront(cfg.Trace, frontA, frontB)
 	}
 	return out, nil
+}
+
+// exportFront appends the two front-door event runs to the trace in
+// stable time order. Both runs are built in non-decreasing time order
+// (stage 1 walks arrivals in order; dispatch instants never move
+// backwards), so a two-pointer merge that prefers run A on ties
+// reproduces exactly what sort.SliceStable over the concatenation —
+// the pre-sharded encoding — produced. Should either ordering
+// invariant ever break, the stable sort runs as the fallback.
+func exportFront(tr *sim.Trace, a, b []sim.Event) {
+	if !eventsOrdered(a) || !eventsOrdered(b) {
+		all := make([]sim.Event, 0, len(a)+len(b))
+		all = append(all, a...)
+		all = append(all, b...)
+		sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+		tr.Events = append(tr.Events, all...)
+		return
+	}
+	tr.Reserve(len(a) + len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Time <= b[j].Time {
+			tr.Events = append(tr.Events, a[i])
+			i++
+		} else {
+			tr.Events = append(tr.Events, b[j])
+			j++
+		}
+	}
+	tr.Events = append(tr.Events, a[i:]...)
+	tr.Events = append(tr.Events, b[j:]...)
+}
+
+// eventsOrdered reports whether the run's times never decrease.
+func eventsOrdered(evs []sim.Event) bool {
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			return false
+		}
+	}
+	return true
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"planaria/internal/arch"
+	"planaria/internal/simtime"
 )
 
 // Kind classifies a fault event.
@@ -326,7 +327,7 @@ func (in *Injector) NextChange(after float64) float64 {
 // replay order. The returned slice is valid until the next call.
 func (in *Injector) AdvanceTo(t float64) []Change {
 	start := in.next
-	for in.next < len(in.trans) && in.trans[in.next].Time <= t+1e-12 {
+	for in.next < len(in.trans) && simtime.Due(in.trans[in.next].Time, t) {
 		in.health.apply(in.trans[in.next].Event, in.trans[in.next].Up)
 		in.next++
 	}

@@ -127,3 +127,61 @@ func (r *BenchReport) JSON() ([]byte, error) {
 	}
 	return append(b, '\n'), nil
 }
+
+// LoadBenchReport decodes a BenchReport previously written by JSON.
+func LoadBenchReport(data []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("obs: parsing bench baseline: %v", err)
+	}
+	return &rep, nil
+}
+
+// result returns the named result, if present.
+func (r *BenchReport) result(name string) (BenchResult, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// nsGateFloor is the baseline ns/op below which the wall-clock half of
+// the gate is skipped: a sub-millisecond benchmark at -benchtime=1x is
+// dominated by cold caches and scheduler jitter, and single readings
+// swing several-fold run to run — far past any useful tolerance. The
+// allocs/op half still applies to such benchmarks; allocation counts
+// are near-deterministic at every scale.
+const nsGateFloor = 1e6
+
+// CompareBench checks current against baseline and returns one message
+// per regression: a benchmark present in both reports whose ns/op or
+// allocs/op grew by more than pct percent. Benchmarks present in only
+// one report are skipped — the gate protects recorded baselines, it does
+// not force every run to execute the full suite. ns/op is gated only
+// when the baseline is at least nsGateFloor (see above); allocs/op is
+// gated everywhere, and because allocation counts are near-deterministic
+// the pct headroom there absorbs only pool-warmup jitter and intentional
+// churn. An empty slice means the gate passes.
+func CompareBench(baseline, current *BenchReport, pct float64) []string {
+	var regressions []string
+	tol := 1 + pct/100
+	for _, base := range baseline.Results {
+		cur, ok := current.result(base.Name)
+		if !ok {
+			continue
+		}
+		if base.NsPerOp >= nsGateFloor && cur.NsPerOp > base.NsPerOp*tol {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op %.0f exceeds baseline %.0f by more than %g%%",
+				base.Name, cur.NsPerOp, base.NsPerOp, pct))
+		}
+		if base.AllocsOp > 0 && cur.AllocsOp > base.AllocsOp*tol {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %.0f exceeds baseline %.0f by more than %g%%",
+				base.Name, cur.AllocsOp, base.AllocsOp, pct))
+		}
+	}
+	return regressions
+}

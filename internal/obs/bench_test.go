@@ -70,6 +70,90 @@ func TestBenchJSONDeterministic(t *testing.T) {
 	}
 }
 
+func TestCompareBench(t *testing.T) {
+	base := &BenchReport{Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1000e6, AllocsOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 2000e6, AllocsOp: 50},
+		{Name: "BenchmarkBaselineOnly", NsPerOp: 10e6},
+	}}
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := &BenchReport{Results: []BenchResult{
+			{Name: "BenchmarkA", NsPerOp: 1190e6, AllocsOp: 119}, // +19%
+			{Name: "BenchmarkB", NsPerOp: 1500e6, AllocsOp: 50},
+			{Name: "BenchmarkCurrentOnly", NsPerOp: 1e12}, // not in baseline: skipped
+		}}
+		if regs := CompareBench(base, cur, 20); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+	t.Run("ns/op regression fails", func(t *testing.T) {
+		cur := &BenchReport{Results: []BenchResult{
+			{Name: "BenchmarkA", NsPerOp: 1250e6, AllocsOp: 100}, // +25%
+			{Name: "BenchmarkB", NsPerOp: 2000e6, AllocsOp: 50},
+		}}
+		regs := CompareBench(base, cur, 20)
+		if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "ns/op") {
+			t.Fatalf("regressions = %v", regs)
+		}
+	})
+	t.Run("allocs/op regression fails", func(t *testing.T) {
+		cur := &BenchReport{Results: []BenchResult{
+			{Name: "BenchmarkA", NsPerOp: 1000e6, AllocsOp: 100},
+			{Name: "BenchmarkB", NsPerOp: 2000e6, AllocsOp: 61}, // +22%
+		}}
+		regs := CompareBench(base, cur, 20)
+		if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkB") || !strings.Contains(regs[0], "allocs/op") {
+			t.Fatalf("regressions = %v", regs)
+		}
+	})
+	t.Run("missing benchmarks are skipped", func(t *testing.T) {
+		if regs := CompareBench(base, &BenchReport{}, 20); len(regs) != 0 {
+			t.Fatalf("empty current report regressed: %v", regs)
+		}
+	})
+	t.Run("sub-floor ns is not gated, its allocs are", func(t *testing.T) {
+		micro := &BenchReport{Results: []BenchResult{
+			{Name: "BenchmarkMicro", NsPerOp: 10e3, AllocsOp: 10},
+		}}
+		cur := &BenchReport{Results: []BenchResult{
+			{Name: "BenchmarkMicro", NsPerOp: 90e3, AllocsOp: 10}, // 9× ns: cold-run noise
+		}}
+		if regs := CompareBench(micro, cur, 20); len(regs) != 0 {
+			t.Fatalf("sub-floor ns/op gated: %v", regs)
+		}
+		cur.Results[0].AllocsOp = 13 // +30%: real churn
+		regs := CompareBench(micro, cur, 20)
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+			t.Fatalf("sub-floor allocs regression missed: %v", regs)
+		}
+	})
+}
+
+func TestLoadBenchReportRoundTrip(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(rep.Results) || got.Results[0].Name != rep.Results[0].Name {
+		t.Fatalf("round trip lost results: %+v", got.Results)
+	}
+	// A round-tripped report gates cleanly against itself.
+	if regs := CompareBench(rep, got, 0); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+	if _, err := LoadBenchReport([]byte("{not json")); err == nil {
+		t.Fatal("malformed baseline did not error")
+	}
+}
+
 func TestParseBenchSkipsGarbage(t *testing.T) {
 	rep, err := ParseBench(strings.NewReader("Benchmark\nBenchmarkX notanumber\nrandom text\n"))
 	if err != nil {

@@ -31,12 +31,16 @@ const (
 )
 
 // traceEvent is one recorded timeline entry in builder-native units.
+// Counter samples store their value inline (cval) instead of an args
+// slice so the hot Counter path allocates nothing per sample; the
+// encoder synthesizes the identical {"series":value} args object.
 type traceEvent struct {
 	phase byte
 	name  string
 	track int
 	ts    float64
 	dur   float64
+	cval  float64
 	args  []Arg
 }
 
@@ -125,12 +129,38 @@ func (tb *TraceBuilder) Instant(track, name string, ts float64, args ...Arg) {
 }
 
 // Counter records a sample of a counter series. Perfetto renders each
-// counter name as its own numeric track.
+// counter name as its own numeric track. The sample value lands inline
+// in the event record — no per-sample args allocation.
 func (tb *TraceBuilder) Counter(track, series string, ts, value float64) {
 	if tb == nil {
 		return
 	}
-	tb.record(phaseCounter, track, series, ts, 0, []Arg{Num(series, value)})
+	c := tb.core
+	c.mu.Lock()
+	c.events = append(c.events, traceEvent{
+		phase: phaseCounter,
+		name:  series,
+		track: c.track(tb.prefix + track),
+		ts:    ts,
+		cval:  value,
+	})
+	c.mu.Unlock()
+}
+
+// Reserve pre-grows the event buffer so the next n recordings append
+// without reallocating. Nil-safe no-op.
+func (tb *TraceBuilder) Reserve(n int) {
+	if tb == nil || n <= 0 {
+		return
+	}
+	c := tb.core
+	c.mu.Lock()
+	if free := cap(c.events) - len(c.events); free < n {
+		grown := make([]traceEvent, len(c.events), len(c.events)+n)
+		copy(grown, c.events)
+		c.events = grown
+	}
+	c.mu.Unlock()
 }
 
 // Len returns the number of recorded events.
@@ -223,7 +253,16 @@ func (tb *TraceBuilder) JSON() []byte {
 			if e.phase == phaseInstant {
 				line.WriteString(`,"s":"t"`)
 			}
-			if len(e.args) > 0 {
+			if e.phase == phaseCounter {
+				// Counter values live inline; synthesize the one-entry
+				// args object the format expects, byte-identical to the
+				// old []Arg encoding.
+				line.WriteString(`,"args":{`)
+				line.WriteString(jsonString(e.name))
+				line.WriteByte(':')
+				line.WriteString(jsonFloat(e.cval))
+				line.WriteByte('}')
+			} else if len(e.args) > 0 {
 				line.WriteString(`,"args":`)
 				appendArgs(&line, e.args)
 			}

@@ -54,6 +54,31 @@ func ForEachN(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// PerItem invokes fn(i) for every i in [0, n) on its own goroutine —
+// one shard per item — and returns when all have completed. It suits a
+// few long-running, similarly-sized items (one simulation per chip)
+// where the shared-counter pool's handout order adds nothing; like
+// ForEach, fn must confine its writes to per-index state and callers
+// aggregate in index order afterwards. A single item runs inline.
+func PerItem(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // FirstError returns the first non-nil error in index order, preserving
 // the error a sequential loop would have surfaced.
 func FirstError(errs []error) error {

@@ -35,6 +35,11 @@ type Token struct {
 	tokens map[int]float64
 	last   map[int]float64
 
+	// Scratch reused across AllocateInto invocations: the live-task set
+	// and the sorted stale-token worklist.
+	live  map[int]bool
+	stale []int
+
 	// health is the physical chip's fault mask (empty = untracked). The
 	// monolithic array cannot re-fission around dead subarrays, so its
 	// only degradation is a uniform throughput derate by the alive
@@ -103,11 +108,30 @@ func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int 
 	if len(tasks) == 0 {
 		return nil
 	}
+	return map[int]int{tasks[p.decide(now, tasks, total)].ID: total}
+}
+
+// AllocateInto implements sim.SliceAllocator (same decision, no result
+// map; the token-accounting maps persist on the policy either way).
+func (p *Token) AllocateInto(now float64, tasks []*sim.Task, total int, dst []int) {
+	if len(tasks) == 0 {
+		return
+	}
+	dst[p.decide(now, tasks, total)] = total
+}
+
+// decide runs one token-policy round — accrual, stale-token GC,
+// candidate filtering, shortest-estimated-job tie-break — and returns the
+// position of the dispatched task, mutating the token state.
+func (p *Token) decide(now float64, tasks []*sim.Task, total int) int {
 	// Accrue tokens: priority × waiting time (milliseconds) since the
 	// last update; running tasks do not accrue.
-	live := make(map[int]bool, len(tasks))
+	if p.live == nil {
+		p.live = make(map[int]bool, len(tasks))
+	}
+	clear(p.live)
 	for _, t := range tasks {
-		live[t.ID] = true
+		p.live[t.ID] = true
 		lastT, seen := p.last[t.ID]
 		if !seen {
 			// Initial token equals the priority, as in PREMA.
@@ -120,13 +144,14 @@ func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int 
 		}
 		p.last[t.ID] = now
 	}
-	stale := make([]int, 0, len(p.tokens))
+	stale := p.stale[:0]
 	for id := range p.tokens {
 		stale = append(stale, id)
 	}
+	p.stale = stale
 	sort.Ints(stale)
 	for _, id := range stale {
-		if !live[id] {
+		if !p.live[id] {
 			delete(p.tokens, id)
 			delete(p.last, id)
 		}
@@ -139,43 +164,46 @@ func (p *Token) Allocate(now float64, tasks []*sim.Task, total int) map[int]int 
 			maxTok = p.tokens[t.ID]
 		}
 	}
-	var best *sim.Task
+	best := -1
 	bestRem := int64(0)
-	for _, t := range tasks {
+	for i, t := range tasks {
 		if p.tokens[t.ID] < p.CandidateFraction*maxTok {
 			continue
 		}
 		rem := t.RemainingCycles(total)
-		if best == nil || rem < bestRem || (rem == bestRem && t.ID < best.ID) {
-			best = t
+		if best < 0 || rem < bestRem || (rem == bestRem && t.ID < tasks[best].ID) {
+			best = i
 			bestRem = rem
 		}
 	}
-	if best == nil {
-		best = tasks[0]
+	if best < 0 {
+		best = 0
 	}
+	bt := tasks[best]
 	p.cDecisions.Inc()
 	p.gMaxToken.Max(maxTok)
-	if !p.haveDisp || p.dispatched != best.ID {
+	if !p.haveDisp || p.dispatched != bt.ID {
 		if p.haveDisp {
 			p.cSwitches.Inc()
 			if p.tracer != nil {
-				p.tracer.Instant("prema", fmt.Sprintf("dispatch task %d", best.ID), now,
-					obs.Str("model", best.Req.Model),
-					obs.Num("token", p.tokens[best.ID]),
+				p.tracer.Instant("prema", fmt.Sprintf("dispatch task %d", bt.ID), now,
+					obs.Str("model", bt.Req.Model),
+					obs.Num("token", p.tokens[bt.ID]),
 					obs.Num("max_token", maxTok))
 			}
 		}
-		p.dispatched, p.haveDisp = best.ID, true
+		p.dispatched, p.haveDisp = bt.ID, true
 	}
 	// The dispatched task's token resets, as in PREMA, so others catch up.
-	p.tokens[best.ID] = float64(best.Req.Priority)
-	return map[int]int{best.ID: total}
+	p.tokens[bt.ID] = float64(bt.Req.Priority)
+	return best
 }
 
 var _ obs.Observable = (*Token)(nil)
 
 var _ sim.Policy = (*Token)(nil)
+
+var _ sim.SliceAllocator = (*Token)(nil)
 
 var _ sim.HealthAware = (*Token)(nil)
 

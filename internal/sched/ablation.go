@@ -33,34 +33,64 @@ func (f *FCFS) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
 	if len(tasks) == 0 {
 		return nil
 	}
-	// Keep the currently running task (run to completion); otherwise pick
-	// the earliest arrival.
-	var pick *sim.Task
-	for _, t := range tasks {
+	return map[int]int{tasks[f.pick(tasks)].ID: total}
+}
+
+// AllocateInto implements sim.SliceAllocator (same decision, no map).
+func (f *FCFS) AllocateInto(now float64, tasks []*sim.Task, total int, dst []int) {
+	if len(tasks) == 0 {
+		return
+	}
+	dst[f.pick(tasks)] = total
+}
+
+// pick keeps the currently running task (run to completion); otherwise it
+// selects the earliest arrival (ties by ID).
+func (f *FCFS) pick(tasks []*sim.Task) int {
+	for i, t := range tasks {
 		if t.Alloc > 0 {
-			pick = t
-			break
+			return i
 		}
 	}
-	if pick == nil {
-		pick = tasks[0]
-		for _, t := range tasks[1:] {
-			if t.Req.Arrival < pick.Req.Arrival ||
-				(t.Req.Arrival == pick.Req.Arrival && t.ID < pick.ID) {
-				pick = t
-			}
+	pick := 0
+	for i, t := range tasks[1:] {
+		if t.Req.Arrival < tasks[pick].Req.Arrival ||
+			(t.Req.Arrival == tasks[pick].Req.Arrival && t.ID < tasks[pick].ID) {
+			pick = i + 1
 		}
 	}
-	return map[int]int{pick.ID: total}
+	return pick
 }
 
 var _ sim.Policy = (*FCFS)(nil)
+var _ sim.SliceAllocator = (*FCFS)(nil)
 
 // EqualShare divides the chip evenly among all dispatched tasks,
 // ignoring priorities, slack, and demand — spatial co-location without
 // Algorithm 1's QoS-aware estimation and scoring.
 type EqualShare struct {
 	Cfg arch.Config
+
+	order []int // scratch reused across AllocateInto invocations
+	srt   arrivalSorter
+}
+
+// arrivalSorter orders task positions by (Arrival, ID) — a total order.
+// The tasks reference is cleared after each sort: task records are
+// engine-owned and must not be retained across policy calls.
+type arrivalSorter struct {
+	order []int
+	tasks []*sim.Task
+}
+
+func (x *arrivalSorter) Len() int      { return len(x.order) }
+func (x *arrivalSorter) Swap(i, j int) { x.order[i], x.order[j] = x.order[j], x.order[i] }
+func (x *arrivalSorter) Less(i, j int) bool {
+	ta, tb := x.tasks[x.order[i]], x.tasks[x.order[j]]
+	if ta.Req.Arrival != tb.Req.Arrival {
+		return ta.Req.Arrival < tb.Req.Arrival
+	}
+	return ta.ID < tb.ID
 }
 
 // NewEqualShare returns the naive spatial policy.
@@ -78,27 +108,47 @@ func (e *EqualShare) Allocate(now float64, tasks []*sim.Task, total int) map[int
 	if len(tasks) == 0 {
 		return nil
 	}
-	order := append([]*sim.Task(nil), tasks...)
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Req.Arrival != order[j].Req.Arrival {
-			return order[i].Req.Arrival < order[j].Req.Arrival
+	dst := make([]int, len(tasks))
+	e.AllocateInto(now, tasks, total, dst)
+	alloc := make(map[int]int, len(tasks))
+	for i, t := range tasks {
+		if dst[i] > 0 {
+			alloc[t.ID] = dst[i]
 		}
-		return order[i].ID < order[j].ID
-	})
+	}
+	return alloc
+}
+
+// AllocateInto implements sim.SliceAllocator: the same even split written
+// into a positional buffer with reusable ordering scratch.
+func (e *EqualShare) AllocateInto(now float64, tasks []*sim.Task, total int, dst []int) {
+	if len(tasks) == 0 {
+		return
+	}
+	if cap(e.order) < len(tasks) {
+		e.order = make([]int, 0, len(tasks))
+	}
+	order := e.order[:0]
+	for i := range tasks {
+		order = append(order, i)
+	}
+	e.order = order
+	e.srt.order, e.srt.tasks = order, tasks
+	sort.Sort(&e.srt)
+	e.srt.tasks = nil
 	if len(order) > total {
 		order = order[:total]
 	}
 	share := total / len(order)
 	rem := total - share*len(order)
-	alloc := make(map[int]int, len(order))
-	for i, t := range order {
+	for i, idx := range order {
 		a := share
 		if i < rem {
 			a++
 		}
-		alloc[t.ID] = a
+		dst[idx] = a
 	}
-	return alloc
 }
 
 var _ sim.Policy = (*EqualShare)(nil)
+var _ sim.SliceAllocator = (*EqualShare)(nil)

@@ -71,9 +71,16 @@ func TestAllocateUnfitEstimateExceedsTotal(t *testing.T) {
 	p := toyProg(t, cfg)
 	s := NewSpatial(cfg)
 	tasks := []*sim.Task{mkTask(t, 0, p, 1e-3, 5), mkTask(t, 1, p, 1e-3, 3)}
-	estimates := map[int]int{0: 40, 1: 25} // both far beyond the chip
+	estimates := []int{40, 25} // both far beyond the chip, by task position
 	for _, total := range []int{16, 5, 1} {
-		alloc := s.allocateUnfit(0, tasks, estimates, total)
+		dst := make([]int, len(tasks))
+		s.allocateUnfitInto(0, tasks, estimates, total, dst)
+		alloc := map[int]int{}
+		for i, task := range tasks {
+			if dst[i] > 0 {
+				alloc[task.ID] = dst[i]
+			}
+		}
 		checkAllocation(t, alloc, total)
 		used := 0
 		for _, a := range alloc {

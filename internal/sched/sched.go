@@ -37,6 +37,68 @@ type Spatial struct {
 	cFit       *obs.Counter
 	cUnfit     *obs.Counter
 	tracer     *obs.TraceBuilder
+
+	// cps caches Cfg.CyclesPerSecond(): predictTime runs for every task
+	// at every scheduling event, and calling a value-receiver Config
+	// method there copies the whole Config per prediction. Lazily
+	// initialized so zero-value literals (tests) still work.
+	cps float64
+
+	// Scratch buffers reused across AllocateInto invocations. The engine
+	// calls the policy from one goroutine, once per scheduling event;
+	// keeping these on the policy makes steady-state scheduling
+	// allocation-free.
+	est      []int
+	scores   []float64
+	fr       []allocFrac
+	order    []scoredTask
+	admitted []int
+	// Sorter scratch: sort.Sort on a pointer receiver avoids the
+	// per-call closure and swapper allocations of sort.Slice.
+	frSort    allocFracSorter
+	orderSort scoredTaskSorter
+}
+
+// allocFracSorter sorts rounding fractions by (ideal desc, id asc) — a
+// total order (ids are unique), so the permutation is the unique sorted
+// one regardless of sorting algorithm.
+type allocFracSorter struct{ fr []allocFrac }
+
+func (x *allocFracSorter) Len() int      { return len(x.fr) }
+func (x *allocFracSorter) Swap(i, j int) { x.fr[i], x.fr[j] = x.fr[j], x.fr[i] }
+func (x *allocFracSorter) Less(i, j int) bool {
+	if x.fr[i].ideal != x.fr[j].ideal {
+		return x.fr[i].ideal > x.fr[j].ideal
+	}
+	return x.fr[i].id < x.fr[j].id
+}
+
+// scoredTaskSorter sorts admission scores by (score desc, id asc) —
+// likewise a total order.
+type scoredTaskSorter struct{ order []scoredTask }
+
+func (x *scoredTaskSorter) Len() int      { return len(x.order) }
+func (x *scoredTaskSorter) Swap(i, j int) { x.order[i], x.order[j] = x.order[j], x.order[i] }
+func (x *scoredTaskSorter) Less(i, j int) bool {
+	if x.order[i].score != x.order[j].score {
+		return x.order[i].score > x.order[j].score
+	}
+	return x.order[i].id < x.order[j].id
+}
+
+// allocFrac carries one task's fractional share for largest-remainder
+// rounding (allocateFitInto).
+type allocFrac struct {
+	idx   int // position in the tasks slice
+	id    int
+	ideal float64
+}
+
+// scoredTask carries one task's admission score (allocateUnfitInto).
+type scoredTask struct {
+	idx   int // position in the tasks slice
+	id    int
+	score float64
 }
 
 // NewSpatial returns the policy for a hardware configuration.
@@ -84,7 +146,12 @@ func (s *Spatial) chainCap(alloc int) int {
 // of the task's remaining cycles at a candidate allocation, converted to
 // seconds (the task monitor keeps the progress used by RemainingCycles).
 func (s *Spatial) predictTime(t *sim.Task, alloc int) float64 {
-	return s.Cfg.Seconds(t.RemainingCycles(s.chainCap(alloc)))
+	if s.cps == 0 {
+		s.cps = s.Cfg.CyclesPerSecond()
+	}
+	// float64(cycles)/cps is the exact expression Cfg.Seconds evaluates,
+	// minus the per-call Config copy.
+	return float64(t.RemainingCycles(s.chainCap(alloc))) / s.cps
 }
 
 // EstimateResources is Algorithm 1's ESTIMATERESOURCES: the minimum
@@ -104,16 +171,65 @@ func (s *Spatial) EstimateResources(t *sim.Task, now float64, total int) int {
 	return s.chainCap(total)
 }
 
-// Allocate is Algorithm 1's SCHEDULETASKSSPATIALLY.
+// Allocate is Algorithm 1's SCHEDULETASKSSPATIALLY. It delegates to the
+// slice-based AllocateInto and repackages the result as the map the
+// Policy interface promises: tasks left unallocated (stalled) are omitted
+// from the map, exactly as before the slice fast path existed.
 func (s *Spatial) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
 	if len(tasks) == 0 {
 		return nil
 	}
-	estimates := make(map[int]int, len(tasks))
-	sum := 0
-	for _, t := range tasks {
+	dst := make([]int, len(tasks))
+	s.AllocateInto(now, tasks, total, dst)
+	alloc := make(map[int]int, len(tasks))
+	for i, t := range tasks {
+		if dst[i] > 0 {
+			alloc[t.ID] = dst[i]
+		}
+	}
+	return alloc
+}
+
+// AllocateInto implements sim.SliceAllocator: the same Algorithm 1
+// decision written into a positional buffer, with every intermediate
+// (estimates, scores, rounding fractions, admission order) living in
+// scratch reused across events — the engine's steady-state scheduling
+// path allocates nothing.
+func (s *Spatial) AllocateInto(now float64, tasks []*sim.Task, total int, dst []int) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		// One task always fits and the proportional-share arithmetic
+		// collapses: the whole remainder is one task's ideal share, so it
+		// ends up with every subarray whenever its score is positive
+		// (priority > 0; the remaining-time clamp keeps scores finite).
+		// This is the steady state of a lightly-loaded chip — worth
+		// skipping the score/sort machinery for.
+		t := tasks[0]
 		e := s.EstimateResources(t, now, total)
-		estimates[t.ID] = e
+		s.cDecisions.Inc()
+		s.cFit.Inc()
+		if s.tracer != nil {
+			s.tracer.Instant("sched", fmt.Sprintf("fission: fit %d tasks", 1), now,
+				obs.Num("tasks", 1),
+				obs.Num("demand", float64(e)),
+				obs.Num("subarrays", float64(total)))
+		}
+		dst[0] = e
+		if e < total && t.Req.Priority > 0 {
+			dst[0] = total
+		}
+		return
+	}
+	if cap(s.est) < len(tasks) {
+		s.est = make([]int, len(tasks))
+	}
+	s.est = s.est[:len(tasks)]
+	sum := 0
+	for i, t := range tasks {
+		e := s.EstimateResources(t, now, total)
+		s.est[i] = e
 		sum += e
 	}
 	s.cDecisions.Inc()
@@ -125,7 +241,8 @@ func (s *Spatial) Allocate(now float64, tasks []*sim.Task, total int) map[int]in
 				obs.Num("demand", float64(sum)),
 				obs.Num("subarrays", float64(total)))
 		}
-		return s.allocateFit(now, tasks, estimates, total)
+		s.allocateFitInto(tasks, s.est, total, dst)
+		return
 	}
 	s.cUnfit.Inc()
 	if s.tracer != nil {
@@ -134,131 +251,124 @@ func (s *Spatial) Allocate(now float64, tasks []*sim.Task, total int) map[int]in
 			obs.Num("demand", float64(sum)),
 			obs.Num("subarrays", float64(total)))
 	}
-	return s.allocateUnfit(now, tasks, estimates, total)
+	s.allocateUnfitInto(now, tasks, s.est, total, dst)
 }
 
-// allocateFit gives every task its minimal estimate, then distributes the
-// spare subarrays proportionally to score = priority / remaining-time —
-// favouring important tasks and those with much work left (fairness via
+// allocateFitInto gives every task its minimal estimate, then distributes
+// the spare subarrays proportionally to score = priority / remaining-time
+// — favouring important tasks and those with much work left (fairness via
 // equal progress).
-func (s *Spatial) allocateFit(now float64, tasks []*sim.Task, estimates map[int]int, total int) map[int]int {
-	alloc := make(map[int]int, len(tasks))
-	scores := make(map[int]float64, len(tasks))
+func (s *Spatial) allocateFitInto(tasks []*sim.Task, est []int, total int, dst []int) {
+	if cap(s.scores) < len(tasks) {
+		s.scores = make([]float64, len(tasks))
+	}
+	scores := s.scores[:len(tasks)]
 	var scoreSum float64
 	used := 0
-	for _, t := range tasks {
-		e := estimates[t.ID]
-		alloc[t.ID] = e
+	for i, t := range tasks {
+		e := est[i]
+		dst[i] = e
 		used += e
 		rem := s.predictTime(t, e)
 		if rem < 1e-9 {
 			rem = 1e-9
 		}
 		sc := float64(t.Req.Priority) / rem
-		scores[t.ID] = sc
+		scores[i] = sc
 		scoreSum += sc
 	}
 	remaining := total - used
 	if remaining <= 0 || scoreSum <= 0 {
-		return alloc
+		return
 	}
 	// Proportional shares with largest-remainder rounding, capped so no
 	// task exceeds the total.
-	type frac struct {
-		id    int
-		ideal float64
+	if cap(s.fr) < len(tasks) {
+		s.fr = make([]allocFrac, 0, len(tasks))
 	}
-	fr := make([]frac, 0, len(tasks))
+	fr := s.fr[:0]
 	granted := 0
-	for _, t := range tasks {
-		ideal := float64(remaining) * scores[t.ID] / scoreSum
+	for i, t := range tasks {
+		ideal := float64(remaining) * scores[i] / scoreSum
 		whole := int(ideal)
-		room := total - alloc[t.ID]
+		room := total - dst[i]
 		if whole > room {
 			whole = room
 		}
-		alloc[t.ID] += whole
+		dst[i] += whole
 		granted += whole
-		fr = append(fr, frac{t.ID, ideal - float64(whole)})
+		fr = append(fr, allocFrac{idx: i, id: t.ID, ideal: ideal - float64(whole)})
 	}
-	sort.Slice(fr, func(i, j int) bool {
-		if fr[i].ideal != fr[j].ideal {
-			return fr[i].ideal > fr[j].ideal
-		}
-		return fr[i].id < fr[j].id
-	})
+	s.fr = fr
+	s.frSort.fr = fr
+	sort.Sort(&s.frSort)
 	for _, f := range fr {
 		if granted >= remaining {
 			break
 		}
-		if alloc[f.id] < total {
-			alloc[f.id]++
+		if dst[f.idx] < total {
+			dst[f.idx]++
 			granted++
 		}
 	}
-	return alloc
 }
 
-// allocateUnfit resolves competition when the minimal demands exceed the
-// chip: tasks are admitted in order of score = priority / (slack ·
+// allocateUnfitInto resolves competition when the minimal demands exceed
+// the chip: tasks are admitted in order of score = priority / (slack ·
 // demand) — favouring high priority, tight slack, and small demand — until
 // the chip is full. Leftover subarrays (when the next demands do not fit)
 // top up the admitted tasks in score order.
-func (s *Spatial) allocateUnfit(now float64, tasks []*sim.Task, estimates map[int]int, total int) map[int]int {
-	type scored struct {
-		t     *sim.Task
-		score float64
+func (s *Spatial) allocateUnfitInto(now float64, tasks []*sim.Task, est []int, total int, dst []int) {
+	if cap(s.order) < len(tasks) {
+		s.order = make([]scoredTask, 0, len(tasks))
 	}
-	order := make([]scored, 0, len(tasks))
-	for _, t := range tasks {
+	order := s.order[:0]
+	for i, t := range tasks {
 		slack := t.Slack(now)
 		if slack < s.MinSlack {
 			slack = s.MinSlack
 		}
-		e := estimates[t.ID]
+		e := est[i]
 		if e < 1 {
 			e = 1
 		}
-		order = append(order, scored{t, float64(t.Req.Priority) / (slack * float64(e))})
+		order = append(order, scoredTask{idx: i, id: t.ID, score: float64(t.Req.Priority) / (slack * float64(e))})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].score != order[j].score {
-			return order[i].score > order[j].score
-		}
-		return order[i].t.ID < order[j].t.ID
-	})
+	s.order = order
+	s.orderSort.order = order
+	sort.Sort(&s.orderSort)
 
-	alloc := make(map[int]int, len(tasks))
 	remaining := total
-	var admitted []*sim.Task
+	admitted := s.admitted[:0]
 	for _, sc := range order {
 		if remaining <= 0 {
 			break
 		}
-		e := estimates[sc.t.ID]
+		e := est[sc.idx]
 		if e > remaining {
 			// Cannot give the full estimate; admit with what remains only
 			// if nothing else was admitted yet (keep the chip busy).
 			if len(admitted) == 0 {
-				alloc[sc.t.ID] = remaining
-				admitted = append(admitted, sc.t)
+				dst[sc.idx] = remaining
+				admitted = append(admitted, sc.idx)
 				remaining = 0
 			}
 			continue
 		}
-		alloc[sc.t.ID] = e
-		admitted = append(admitted, sc.t)
+		dst[sc.idx] = e
+		admitted = append(admitted, sc.idx)
 		remaining -= e
 	}
+	s.admitted = admitted
 	// Top up admitted tasks round-robin in score order.
 	for remaining > 0 && len(admitted) > 0 {
 		progressed := false
-		for _, t := range admitted {
+		for _, idx := range admitted {
 			if remaining == 0 {
 				break
 			}
-			if alloc[t.ID] < total {
-				alloc[t.ID]++
+			if dst[idx] < total {
+				dst[idx]++
 				remaining--
 				progressed = true
 			}
@@ -267,10 +377,10 @@ func (s *Spatial) allocateUnfit(now float64, tasks []*sim.Task, estimates map[in
 			break
 		}
 	}
-	return alloc
 }
 
 var _ sim.Policy = (*Spatial)(nil)
+var _ sim.SliceAllocator = (*Spatial)(nil)
 var _ obs.Observable = (*Spatial)(nil)
 var _ sim.HealthAware = (*Spatial)(nil)
 

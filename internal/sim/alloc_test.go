@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The event-engine work (DESIGN.md §12) guarantees that steady-state
+// tracing stays off the allocator: recording into a Reserved buffer and
+// the disabled-tracing no-op path must both be alloc-free. These tests
+// pin that contract so a future refactor that reintroduces a per-event
+// allocation fails loudly instead of silently costing 1M allocs per
+// serving run.
+
+func TestTraceRecordZeroAllocs(t *testing.T) {
+	tr := &Trace{}
+	tr.Reserve(2048)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.record(Event{Time: float64(i), Kind: EvAlloc, Task: i, Alloc: 4})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Trace.record into reserved capacity: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilTraceZeroAllocs(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.record(Event{Kind: EvFinish, Task: 1})
+		tr.Reserve(64)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-Trace no-op path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestTraceReserveAmortizes(t *testing.T) {
+	tr := &Trace{}
+	tr.Reserve(100)
+	if cap(tr.Events) < 100 {
+		t.Fatalf("Reserve(100) left cap %d", cap(tr.Events))
+	}
+	// A second Reserve within the existing headroom must not reallocate.
+	before := cap(tr.Events)
+	tr.Reserve(50)
+	if cap(tr.Events) != before {
+		t.Fatalf("Reserve within capacity reallocated: cap %d -> %d", before, cap(tr.Events))
+	}
+}
+
+// TestRetryHeapOrder checks the heap against the sorted-slice queue it
+// replaced: pop order must equal a stable sort by (at, task ID), with
+// task ID breaking timestamp ties (IDs are unique, so the order is
+// total and the two structures are behavior-identical).
+func TestRetryHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tasks := make([]Task, 64)
+	var want []retryEntry
+	for i := range tasks {
+		tasks[i].ID = i
+		// Coarse timestamps force ID tie-breaks.
+		want = append(want, retryEntry{t: &tasks[i], at: float64(rng.Intn(8))})
+	}
+	var h retryHeap
+	for _, i := range rng.Perm(len(want)) {
+		h.push(want[i])
+	}
+	sort.SliceStable(want, func(i, j int) bool { return retryBefore(want[i], want[j]) })
+	for i, w := range want {
+		if h.Len() != len(want)-i {
+			t.Fatalf("Len() = %d before pop %d", h.Len(), i)
+		}
+		if p := h.peek(); p != w {
+			t.Fatalf("peek %d = {%d %g}, want {%d %g}", i, p.t.ID, p.at, w.t.ID, w.at)
+		}
+		if g := h.pop(); g != w {
+			t.Fatalf("pop %d = {%d %g}, want {%d %g}", i, g.t.ID, g.at, w.t.ID, w.at)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.Len())
+	}
+}

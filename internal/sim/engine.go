@@ -4,14 +4,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/energy"
 	"planaria/internal/fault"
 	"planaria/internal/obs"
+	"planaria/internal/simtime"
 	"planaria/internal/workload"
 )
+
+// TimeEps re-exports the repository-wide simulated-time comparison
+// tolerance (see internal/simtime, which sits below both this package
+// and internal/fault). Every due-at/later-than check in the engine, the
+// fault injector, and the cluster front end uses the same tolerance.
+const TimeEps = simtime.Eps
 
 // configLoadCycles covers the double-buffered configuration-register swap
 // and the per-subarray instruction-buffer prefetch on a re-allocation
@@ -108,6 +116,26 @@ type Node struct {
 	MaxAttempts int
 }
 
+// nodeScratch holds one Run's large non-escaping working buffers,
+// recycled through a sync.Pool so back-to-back simulations (cluster
+// shards, sweeps, benchmarks) stop paying a large-allocation zeroing
+// tax per run. Task records are engine-owned: nothing in an Outcome,
+// Trace, or observer references them, and policies must not retain
+// *Task pointers across calls (the scheduling contract), so the arena
+// is free for reuse the moment Run returns. Every buffer is either
+// appended from empty or fully overwritten before it is read, so stale
+// contents cannot influence a run.
+type nodeScratch struct {
+	arena      []Task
+	tasks      []*Task
+	pp         []ppEntry
+	allocBuf   []int
+	retry      []retryEntry
+	prevUsable []bool
+}
+
+var nodeScratchPool = sync.Pool{New: func() any { return new(nodeScratch) }}
+
 // penaltyScale returns the effective multiplier.
 func (n *Node) penaltyScale() float64 {
 	if n.PenaltyScale == 0 {
@@ -130,24 +158,102 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		return nil, fmt.Errorf("sim: no requests")
 	}
 	total := n.Cfg.NumSubarrays()
+	// Per-event constants hoisted off the hot loop: the clock rate (the
+	// Seconds/CyclesPerSecond conversions are pure functions of Cfg) and
+	// the reallocation penalty multiplier.
+	cps := n.Cfg.CyclesPerSecond()
+	penScale := n.penaltyScale()
 	if n.Faults != nil && n.FaultMode == FaultFission && n.Faults.Health().Units() != total {
 		return nil, fmt.Errorf("sim: fault schedule has %d units, fission config has %d subarrays",
 			n.Faults.Health().Units(), total)
 	}
 
-	index := make(map[int]int, len(reqs))
+	// Request-ID index. The common case — IDs are the identity
+	// permutation, as every generated workload and cluster dispatch
+	// stream produces — needs no map at all: IDs are provably unique and
+	// ID == input position.
+	var index map[int]int
+	identityIDs := true
 	for i, r := range reqs {
-		if _, dup := index[r.ID]; dup {
-			return nil, fmt.Errorf("sim: duplicate request ID %d", r.ID)
+		if r.ID != i {
+			identityIDs = false
+			break
 		}
-		index[r.ID] = i
+	}
+	if !identityIDs {
+		index = make(map[int]int, len(reqs))
+		for i, r := range reqs {
+			if _, dup := index[r.ID]; dup {
+				return nil, fmt.Errorf("sim: duplicate request ID %d", r.ID)
+			}
+			index[r.ID] = i
+		}
 	}
 
-	pending := make([]workload.Request, len(reqs))
-	copy(pending, reqs)
-	sort.Slice(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	// Arrival calendar. A strictly increasing input (the Poisson streams
+	// and the cluster's chronological dispatch order) is its own
+	// calendar — alias it without copying; the engine never mutates
+	// pending entries. Anything else takes the copy-and-sort path, whose
+	// comparator and algorithm are unchanged so tied arrivals keep their
+	// historical order.
+	pending := reqs
+	aliased := true
+	// The monotonicity pass doubles as the fairness priority sum (input
+	// order, matching fairnessOf's historical accumulation order); the
+	// rare unsorted input recomputes it below after breaking out early.
+	prioSum := 0.0
+	if len(reqs) > 0 {
+		prioSum = float64(reqs[0].Priority)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival <= reqs[i-1].Arrival {
+			cp := make([]workload.Request, len(reqs))
+			copy(cp, reqs)
+			sort.Slice(cp, func(i, j int) bool { return cp[i].Arrival < cp[j].Arrival })
+			pending = cp
+			aliased = false
+			break
+		}
+		prioSum += float64(reqs[i].Priority)
+	}
+	if !aliased {
+		prioSum = 0
+		for i := range reqs {
+			prioSum += float64(reqs[i].Priority)
+		}
+	}
+	if identityIDs || aliased {
+		// Each task learns its input position at admit (ID for identity
+		// streams, calendar position for aliased ones), so the retire path
+		// never consults the index map; it was only needed for the
+		// duplicate check above.
+		index = nil
+	}
 
-	tasks := make([]*Task, 0, 8) // active
+	// Task records come from one pooled arena: at most one task is ever
+	// created per request (retries re-enqueue the same record), so the
+	// arena never grows and the pointers stay stable for the whole run.
+	sc := nodeScratchPool.Get().(*nodeScratch)
+	arena := sc.arena
+	if cap(arena) < len(pending) {
+		arena = make([]Task, len(pending))
+	} else {
+		arena = arena[:len(pending)]
+	}
+	usedArena := 0
+
+	tasks := sc.tasks[:0] // active
+	pp := sc.pp[:0]
+	allocBuf := sc.allocBuf[:0]
+	prevUsable := sc.prevUsable[:0]
+	retryQ := retryHeap{entries: sc.retry[:0]}
+	defer func() {
+		sc.arena, sc.tasks, sc.pp = arena, tasks[:0], pp[:0]
+		sc.allocBuf, sc.prevUsable = allocBuf[:0], prevUsable[:0]
+		sc.retry = retryQ.entries[:0]
+		nodeScratchPool.Put(sc)
+	}()
+
 	out := &Outcome{
 		Finishes: make([]float64, len(reqs)),
 		Latency:  make([]float64, len(reqs)),
@@ -155,7 +261,6 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	for i := range out.Finishes {
 		out.Finishes[i] = -1
 	}
-	var pp []ppEntry
 
 	// Observability handles: nil registry/tracer yields nil handles whose
 	// methods are no-ops, so the probes below cost only untaken branches
@@ -174,53 +279,113 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	gAlive := reg.Gauge("fault_alive_subarrays")
 	gDepth := reg.Gauge("sim_queue_depth_max")
 	lastDepth, lastRunning := -1, -1
+	// Per-model latency-histogram handles, interned on first completion so
+	// the steady state skips the registry's label canonicalization.
+	var latHists map[string]*obs.Histogram
+	var durBounds []float64
+	if reg != nil {
+		latHists = make(map[string]*obs.Histogram, len(n.Programs))
+		durBounds = obs.DurationBuckets()
+	}
+	// A typical request contributes arrival + alloc + finish plus a queue
+	// sample; reserving 4 events per request keeps steady-state tracing
+	// off the allocator (appends beyond the estimate still grow).
+	n.Trace.Reserve(4 * len(pending))
+	// Event-construction guard: with tracing off, the record calls below
+	// are skipped entirely so no Event argument is ever materialized.
+	tracing := n.Trace != nil
+
+	// Model bindings interned once: the compiled program plus its
+	// full-allocation isolated run time (the fairness numerator), so each
+	// admit does a single map lookup and each retirement does none.
+	binds := make(map[string]progBinding, len(n.Programs))
+	for m, p := range n.Programs { //det:mapiter-ok builds a map from a map; contents are iteration-order-insensitive
+		binds[m] = progBinding{prog: p, iso: float64(p.Table(total).TotalCycles) / cps}
+	}
 
 	now := pending[0].Arrival
 	firstArrival := now
 	nextPending := 0
 	const maxIter = 10_000_000
 
-	var retryQ []retryEntry
-
 	admit := func() error {
-		for nextPending < len(pending) && pending[nextPending].Arrival <= now+1e-12 {
-			r := pending[nextPending]
+		for nextPending < len(pending) && simtime.Due(pending[nextPending].Arrival, now) {
+			r := &pending[nextPending]
+			srcPos := nextPending
 			nextPending++
-			prog, ok := n.Programs[r.Model]
+			bind, ok := binds[r.Model]
 			if !ok {
 				if n.Strict {
 					return fmt.Errorf("sim: no program for model %q", r.Model)
 				}
-				n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
-				n.Trace.record(Event{Time: r.Arrival, Kind: EvReject, Task: r.ID, Model: r.Model})
+				if tracing {
+					n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+				}
+				if tracing {
+					n.Trace.record(Event{Time: r.Arrival, Kind: EvReject, Task: r.ID, Model: r.Model})
+				}
 				cRequests.Inc()
 				cRejects.Inc()
 				out.Rejected++
 				continue
 			}
-			n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+			if tracing {
+				n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+			}
 			cRequests.Inc()
-			if n.shouldShed(now, prog, r, total, len(tasks)) {
-				n.Trace.record(Event{Time: now, Kind: EvShed, Task: r.ID, Model: r.Model})
+			if n.shouldShed(now, bind.prog, r, total, len(tasks)) {
+				if tracing {
+					n.Trace.record(Event{Time: now, Kind: EvShed, Task: r.ID, Model: r.Model})
+				}
 				cSheds.Inc()
 				out.Shed++
 				continue
 			}
-			tasks = append(tasks, &Task{ID: r.ID, Req: r, Prog: prog, Finish: -1})
+			// The task's position in the caller's slice: the ID itself for
+			// identity streams, the calendar position for aliased inputs,
+			// and an index lookup only on the cold copy-and-sort path.
+			pos := r.ID
+			if !identityIDs {
+				if aliased {
+					pos = srcPos
+				} else {
+					pos = index[r.ID]
+				}
+			}
+			t := &arena[usedArena]
+			usedArena++
+			// Field writes rather than a composite literal: the literal
+			// materializes a 200-byte temporary and block-copies it into
+			// the arena slot on every admit.
+			t.ID = r.ID
+			t.Req = *r
+			t.Prog = bind.prog
+			t.Layer, t.Frac = 0, 0
+			t.Alloc, t.PenaltyCycles = 0, 0
+			t.Finish = -1
+			t.EnergyJ = 0
+			t.Preemptions = 0
+			t.iso = bind.iso
+			t.pos = pos
+			t.Attempts = 0
+			tasks = append(tasks, t)
 		}
 		// Killed tasks whose backoff has elapsed rejoin the queue; a task
 		// whose prospects died with the chip's capacity is shed here.
-		for len(retryQ) > 0 && retryQ[0].at <= now+1e-12 {
-			e := retryQ[0]
-			retryQ = retryQ[1:]
-			if n.shouldShed(now, e.t.Prog, e.t.Req, total, len(tasks)) {
-				n.Trace.record(Event{Time: now, Kind: EvShed, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+		for retryQ.Len() > 0 && simtime.Due(retryQ.peek().at, now) {
+			e := retryQ.pop()
+			if n.shouldShed(now, e.t.Prog, &e.t.Req, total, len(tasks)) {
+				if tracing {
+					n.Trace.record(Event{Time: now, Kind: EvShed, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+				}
 				cSheds.Inc()
 				out.Shed++
 				out.EnergyJ += e.t.EnergyJ
 				continue
 			}
-			n.Trace.record(Event{Time: now, Kind: EvRetry, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+			if tracing {
+				n.Trace.record(Event{Time: now, Kind: EvRetry, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+			}
 			tasks = append(tasks, e.t)
 		}
 		return nil
@@ -229,7 +394,9 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	kill := func(t *Task) {
 		t.Attempts++
 		t.Alloc, t.Layer, t.Frac, t.PenaltyCycles = 0, 0, 0, 0
-		n.Trace.record(Event{Time: now, Kind: EvKill, Task: t.ID, Model: t.Req.Model, Attempt: t.Attempts})
+		if tracing {
+			n.Trace.record(Event{Time: now, Kind: EvKill, Task: t.ID, Model: t.Req.Model, Attempt: t.Attempts})
+		}
 		cKills.Inc()
 		out.Killed++
 		if tracer != nil {
@@ -238,13 +405,15 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			tracer.Counter(taskTrack(t.ID), "subarrays", now, 0)
 		}
 		if n.MaxAttempts > 0 && t.Attempts > n.MaxAttempts {
-			n.Trace.record(Event{Time: now, Kind: EvShed, Task: t.ID, Model: t.Req.Model, Attempt: t.Attempts})
+			if tracing {
+				n.Trace.record(Event{Time: now, Kind: EvShed, Task: t.ID, Model: t.Req.Model, Attempt: t.Attempts})
+			}
 			cSheds.Inc()
 			out.Shed++
 			out.EnergyJ += t.EnergyJ
 			return
 		}
-		retryQ = pushRetry(retryQ, retryEntry{t: t, at: now + n.backoff(t.Attempts)})
+		retryQ.push(retryEntry{t: t, at: now + n.backoff(t.Attempts)})
 		out.Retries++
 		cRetries.Inc()
 	}
@@ -252,15 +421,17 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	// applyFaults applies every fault transition due at or before now:
 	// records the transitions, kills the victims, and hands the updated
 	// health mask to a health-aware policy. No-op without an injector.
+	// prevUsable comes from the run scratch, reused across invocations.
 	applyFaults := func() {
 		if n.Faults == nil {
 			return
 		}
 		h := n.Faults.Health()
-		prev := make([]bool, h.Units())
-		for i := range prev {
-			prev[i] = h.UsableSub(i)
+		prev := prevUsable[:0]
+		for i := 0; i < h.Units(); i++ {
+			prev = append(prev, h.UsableSub(i))
 		}
+		prevUsable = prev
 		changes := n.Faults.AdvanceTo(now)
 		if len(changes) == 0 {
 			return
@@ -270,7 +441,9 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			if !ch.Up {
 				anyDown = true
 			}
-			n.Trace.record(Event{Time: ch.Time, Kind: EvFault, Unit: ch.Event.Unit, Up: ch.Up, Model: ch.Event.Kind.String()})
+			if tracing {
+				n.Trace.record(Event{Time: ch.Time, Kind: EvFault, Unit: ch.Event.Unit, Up: ch.Up, Model: ch.Event.Kind.String()})
+			}
 			cFaults.Inc()
 			out.FaultEvents++
 			if tracer != nil {
@@ -310,22 +483,27 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		return nil, err
 	}
 
+	// Zero-allocation scheduling fast path: policies implementing
+	// SliceAllocator write into a reusable positional buffer instead of
+	// returning a fresh map per event.
+	sliceAlloc, fastPolicy := n.Policy.(SliceAllocator)
+
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
 			return nil, fmt.Errorf("sim: exceeded %d events (livelock?) at t=%.9f: %d tasks, %d retries queued, %d/%d arrivals admitted",
-				maxIter, now, len(tasks), len(retryQ), nextPending, len(pending))
+				maxIter, now, len(tasks), retryQ.Len(), nextPending, len(pending))
 		}
 		applyFaults()
 		if len(tasks) == 0 {
-			if nextPending >= len(pending) && len(retryQ) == 0 {
+			if nextPending >= len(pending) && retryQ.Len() == 0 {
 				break
 			}
 			wake := math.Inf(1)
 			if nextPending < len(pending) {
 				wake = pending[nextPending].Arrival
 			}
-			if len(retryQ) > 0 && retryQ[0].at < wake {
-				wake = retryQ[0].at
+			if retryQ.Len() > 0 && retryQ.peek().at < wake {
+				wake = retryQ.peek().at
 			}
 			now = wake
 			applyFaults()
@@ -349,7 +527,9 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			// as shed and end the run gracefully — their Finishes stay
 			// -1 and count against the SLA.
 			shedOne := func(at float64, id int, model string, attempt int, energy float64) {
-				n.Trace.record(Event{Time: at, Kind: EvShed, Task: id, Model: model, Attempt: attempt})
+				if tracing {
+					n.Trace.record(Event{Time: at, Kind: EvShed, Task: id, Model: model, Attempt: attempt})
+				}
 				cSheds.Inc()
 				out.Shed++
 				out.EnergyJ += energy
@@ -358,13 +538,15 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				shedOne(now, t.ID, t.Req.Model, t.Attempts, t.EnergyJ)
 			}
 			tasks = tasks[:0]
-			for _, e := range retryQ {
+			for retryQ.Len() > 0 {
+				e := retryQ.pop()
 				shedOne(now, e.t.ID, e.t.Req.Model, e.t.Attempts, e.t.EnergyJ)
 			}
-			retryQ = nil
 			for ; nextPending < len(pending); nextPending++ {
 				r := pending[nextPending]
-				n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+				if tracing {
+					n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
+				}
 				cRequests.Inc()
 				shedOne(r.Arrival, r.ID, r.Model, 0, 0)
 			}
@@ -372,21 +554,45 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		}
 
 		// Scheduling event: invoke the policy and apply re-allocations.
-		alloc := n.Policy.Allocate(now, tasks, capNow)
-		if err := validateAllocation(alloc, tasks, capNow); err != nil {
-			return nil, err
+		var alloc map[int]int
+		if fastPolicy {
+			if cap(allocBuf) < len(tasks) {
+				allocBuf = make([]int, len(tasks))
+			}
+			allocBuf = allocBuf[:len(tasks)]
+			for i := range allocBuf {
+				allocBuf[i] = 0
+			}
+			sliceAlloc.AllocateInto(now, tasks, capNow, allocBuf)
+			if err := validateAllocationSlice(allocBuf, tasks, capNow); err != nil {
+				return nil, err
+			}
+		} else {
+			alloc = n.Policy.Allocate(now, tasks, capNow)
+			if err := validateAllocation(alloc, tasks, capNow); err != nil {
+				return nil, err
+			}
 		}
 		cSched.Inc()
 		running, inUse := 0, 0
-		for _, t := range tasks {
-			na := alloc[t.ID]
+		for ti, t := range tasks {
+			na := 0
+			if fastPolicy {
+				na = allocBuf[ti]
+			} else {
+				na = alloc[t.ID]
+			}
 			if na != t.Alloc {
-				n.Trace.record(Event{Time: now, Kind: EvAlloc, Task: t.ID, Model: t.Req.Model, Alloc: na})
+				if tracing {
+					n.Trace.record(Event{Time: now, Kind: EvAlloc, Task: t.ID, Model: t.Req.Model, Alloc: na})
+				}
 				if t.Alloc > 0 && !t.Done() {
 					// A running task's allocation changed: a preemption
 					// (full, on PREMA's context switch; partial, on a
 					// Planaria re-fission).
-					n.Trace.record(Event{Time: now, Kind: EvPreempt, Task: t.ID, Model: t.Req.Model, Alloc: na})
+					if tracing {
+						n.Trace.record(Event{Time: now, Kind: EvPreempt, Task: t.ID, Model: t.Req.Model, Alloc: na})
+					}
 					cPreempt.Inc()
 					if tracer != nil {
 						tracer.Instant("sched", fmt.Sprintf("preempt task %d -> %d", t.ID, na), now,
@@ -397,7 +603,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 					tracer.Counter(taskTrack(t.ID), "subarrays", now, float64(na))
 				}
 			}
-			t.applyRealloc(int64(na), n.Cfg, n.penaltyScale())
+			t.applyRealloc(int64(na), &n.Cfg, penScale)
 			if t.Alloc > 0 {
 				running++
 				inUse += t.Alloc
@@ -408,19 +614,25 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		}
 		if lastDepth != len(tasks) || lastRunning != running {
 			lastDepth, lastRunning = len(tasks), running
-			n.Trace.record(Event{Time: now, Kind: EvQueue, Depth: lastDepth, Running: lastRunning})
+			if tracing {
+				n.Trace.record(Event{Time: now, Kind: EvQueue, Depth: lastDepth, Running: lastRunning})
+			}
 			gDepth.Max(float64(lastDepth))
-			tracer.Counter("queue", "inflight", now, float64(lastDepth))
-			tracer.Counter("queue", "running", now, float64(lastRunning))
+			if tracer != nil {
+				tracer.Counter("queue", "inflight", now, float64(lastDepth))
+				tracer.Counter("queue", "running", now, float64(lastRunning))
+			}
 		}
-		tracer.Counter("chip", "subarrays_in_use", now, float64(inUse))
+		if tracer != nil {
+			tracer.Counter("chip", "subarrays_in_use", now, float64(inUse))
+		}
 
 		// Next event: earliest completion, next arrival, quantum, fault
 		// transition, or retry re-enqueue.
 		next := math.Inf(1)
 		for _, t := range tasks {
 			if t.Alloc > 0 {
-				rem := n.Cfg.Seconds(t.RemainingCycles(t.Alloc))
+				rem := float64(t.RemainingCycles(t.Alloc)) / cps
 				if sp != 1 {
 					rem /= sp
 				}
@@ -451,8 +663,8 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				next = nc
 			}
 		}
-		if len(retryQ) > 0 && retryQ[0].at < next {
-			next = retryQ[0].at
+		if retryQ.Len() > 0 && retryQ.peek().at < next {
+			next = retryQ.peek().at
 		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("sim: no next event with %d tasks active", len(tasks))
@@ -462,7 +674,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		// retires work at the alive fraction of its nominal rate.
 		dt := next - now
 		out.BusyTime += dt
-		work := dt * n.Cfg.CyclesPerSecond()
+		work := dt * cps
 		if sp != 1 {
 			work *= sp
 		}
@@ -482,12 +694,19 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		for _, t := range tasks {
 			if t.Done() && t.PenaltyCycles <= 0 {
 				t.Finish = now
-				n.Trace.record(Event{Time: now, Kind: EvFinish, Task: t.ID, Model: t.Req.Model})
+				if tracing {
+					n.Trace.record(Event{Time: now, Kind: EvFinish, Task: t.ID, Model: t.Req.Model})
+				}
 				lat := now - t.Req.Arrival
 				cDone.Inc()
 				if reg != nil {
-					reg.Histogram("sim_latency_seconds", obs.DurationBuckets(),
-						obs.L("model", t.Req.Model)).Observe(lat)
+					h := latHists[t.Req.Model]
+					if h == nil {
+						h = reg.Histogram("sim_latency_seconds", durBounds,
+							obs.L("model", t.Req.Model))
+						latHists[t.Req.Model] = h
+					}
+					h.Observe(lat)
 				}
 				if tracer != nil {
 					tracer.Span(taskTrack(t.ID), fmt.Sprintf("req %d %s", t.ID, t.Req.Model),
@@ -499,11 +718,12 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 						obs.Num("preemptions", float64(t.Preemptions)))
 					tracer.Counter(taskTrack(t.ID), "subarrays", now, 0)
 				}
-				out.Finishes[index[t.Req.ID]] = now
-				out.Latency[index[t.Req.ID]] = lat
+				idx := t.pos
+				out.Finishes[idx] = now
+				out.Latency[idx] = lat
 				out.EnergyJ += t.EnergyJ
 				out.Preemptions += t.Preemptions
-				pp = appendPP(pp, n, t)
+				pp = appendPP(pp, t)
 			} else {
 				kept = append(kept, t)
 			}
@@ -512,7 +732,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		if err := admit(); err != nil {
 			return nil, err
 		}
-		if len(tasks) == 0 && nextPending >= len(pending) && len(retryQ) == 0 {
+		if len(tasks) == 0 && nextPending >= len(pending) && retryQ.Len() == 0 {
 			break
 		}
 	}
@@ -520,7 +740,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	out.Makespan = now - firstArrival
 	// Chip leakage and fission-support overhead power over the busy time.
 	out.EnergyJ += (energy.LeakageWatts(n.Cfg, n.Params) + energy.OverheadWatts(n.Cfg)) * out.BusyTime
-	out.Fairness = fairnessOf(pp, reqs)
+	out.Fairness = fairnessOf(pp, prioSum)
 	out.MeetsSLA = workload.MeetsSLA(reqs, out.Finishes)
 	return out, nil
 }
@@ -539,12 +759,19 @@ type ppEntry struct {
 	multi    float64
 }
 
-func appendPP(pp []ppEntry, n *Node, t *Task) []ppEntry {
-	iso := n.Cfg.Seconds(t.Prog.Table(n.Cfg.NumSubarrays()).TotalCycles)
+// progBinding is one model's interned admission state: its compiled
+// program and the isolated full-chip run time used by the fairness
+// metric.
+type progBinding struct {
+	prog *compiler.Program
+	iso  float64
+}
+
+func appendPP(pp []ppEntry, t *Task) []ppEntry {
 	return append(pp, ppEntry{
 		id:       t.Req.ID,
 		priority: t.Req.Priority,
-		iso:      iso,
+		iso:      t.iso,
 		multi:    t.Finish - t.Req.Arrival,
 	})
 }
@@ -552,13 +779,9 @@ func appendPP(pp []ppEntry, n *Node, t *Task) []ppEntry {
 // fairnessOf computes PREMA's fairness metric:
 // PP_i = (T_iso / T_multi) / (priority_i / Σ priority), fairness =
 // min_{i,j} PP_i / PP_j = min PP / max PP.
-func fairnessOf(pp []ppEntry, reqs []workload.Request) float64 {
+func fairnessOf(pp []ppEntry, prioSum float64) float64 {
 	if len(pp) < 2 {
 		return 1
-	}
-	var prioSum float64
-	for _, r := range reqs {
-		prioSum += float64(r.Priority)
 	}
 	minPP, maxPP := math.Inf(1), 0.0
 	for _, e := range pp {

@@ -233,7 +233,7 @@ func TestReallocChargesPenalty(t *testing.T) {
 	node, prog := testNode(t, fullPolicy{})
 	_ = node
 	task := &Task{ID: 0, Prog: prog, Alloc: 16, Frac: 0.3, Finish: -1}
-	task.applyRealloc(8, node.Cfg, 1)
+	task.applyRealloc(8, &node.Cfg, 1)
 	if task.PenaltyCycles <= configLoadCycles {
 		t.Errorf("penalty = %d, want > %d (tile drain + checkpoint included)", task.PenaltyCycles, configLoadCycles)
 	}
@@ -242,12 +242,12 @@ func TestReallocChargesPenalty(t *testing.T) {
 	}
 	// No-op realloc has no cost.
 	before := task.PenaltyCycles
-	task.applyRealloc(8, node.Cfg, 1)
+	task.applyRealloc(8, &node.Cfg, 1)
 	if task.PenaltyCycles != before {
 		t.Error("no-op realloc charged a penalty")
 	}
 	// Stall (alloc 0) also checkpoints.
-	task.applyRealloc(0, node.Cfg, 1)
+	task.applyRealloc(0, &node.Cfg, 1)
 	if task.Alloc != 0 {
 		t.Errorf("alloc = %d after stall", task.Alloc)
 	}
@@ -294,14 +294,14 @@ func TestCheckpointScalesWithBandwidthShare(t *testing.T) {
 	node, prog := testNode(t, fullPolicy{})
 	wide := &Task{ID: 0, Prog: prog, Alloc: 16, Finish: -1}
 	narrow := &Task{ID: 1, Prog: prog, Alloc: 1, Finish: -1}
-	cw := wide.checkpointCycles(node.Cfg, 16)
-	cn := narrow.checkpointCycles(node.Cfg, 1)
+	cw := wide.checkpointCycles(&node.Cfg, 16)
+	cn := narrow.checkpointCycles(&node.Cfg, 1)
 	if cn <= cw {
 		t.Fatalf("narrow-allocation checkpoint %d not above wide %d", cn, cw)
 	}
 	// Done tasks have nothing to checkpoint.
 	done := &Task{ID: 2, Prog: prog, Alloc: 4, Layer: len(prog.Table(1).Layers)}
-	if done.checkpointCycles(node.Cfg, 4) != 0 {
+	if done.checkpointCycles(&node.Cfg, 4) != 0 {
 		t.Fatal("done task checkpointed")
 	}
 }

@@ -1,0 +1,76 @@
+package sim
+
+// retryHeap is a binary min-heap of killed tasks waiting out their
+// backoff, keyed by (re-enqueue instant, task ID). It replaces the
+// sorted-slice retry queue whose every insert re-sorted the whole slice:
+// pushes and pops are O(log n) and peeks O(1). Because the key is a
+// total order (task IDs are unique), heap pop order and full-sort order
+// agree, so the replacement is behavior-identical.
+//
+// The heap is the only dynamic priority structure the engine needs:
+// arrivals are a pre-sorted calendar (one sort up front, consumed by
+// cursor), and task completions are re-estimated by a min-scan at every
+// scheduling event because each re-allocation changes every in-flight
+// finish time at once — a heap over completions would be rebuilt per
+// event, which is strictly more work than the scan (see DESIGN.md §12).
+type retryHeap struct {
+	entries []retryEntry
+}
+
+// retryBefore orders entries by (at, task ID).
+func retryBefore(a, b retryEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.t.ID < b.t.ID
+}
+
+// Len returns the queue occupancy.
+func (h *retryHeap) Len() int { return len(h.entries) }
+
+// peek returns the earliest entry; the caller checks Len() > 0.
+func (h *retryHeap) peek() retryEntry { return h.entries[0] }
+
+// push inserts an entry.
+func (h *retryHeap) push(e retryEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !retryBefore(h.entries[i], h.entries[parent]) {
+			break
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest entry; the caller checks Len() > 0.
+func (h *retryHeap) pop() retryEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries[last] = retryEntry{} // release the task pointer
+	h.entries = h.entries[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *retryHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && retryBefore(h.entries[l], h.entries[min]) {
+			min = l
+		}
+		if r < n && retryBefore(h.entries[r], h.entries[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.entries[i], h.entries[min] = h.entries[min], h.entries[i]
+		i = min
+	}
+}

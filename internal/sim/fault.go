@@ -7,6 +7,7 @@ import (
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/fault"
+	"planaria/internal/simtime"
 	"planaria/internal/workload"
 )
 
@@ -153,7 +154,7 @@ func (n *Node) speed() float64 {
 // the estimate by the in-flight task count and discounts it by the
 // request's priority, shedding low-priority work first under load. With
 // zero capacity the estimate is unbounded and any enabled policy sheds.
-func (n *Node) shouldShed(now float64, prog *compiler.Program, r workload.Request, total, active int) bool {
+func (n *Node) shouldShed(now float64, prog *compiler.Program, r *workload.Request, total, active int) bool {
 	switch n.Shed {
 	case ShedDoomed, ShedPriority:
 	default:
@@ -172,26 +173,15 @@ func (n *Node) shouldShed(now float64, prog *compiler.Program, r workload.Reques
 	if n.Shed == ShedPriority {
 		est = now + iso*float64(1+active)/float64(r.Priority)
 	}
-	return est > r.Deadline+1e-12
+	return simtime.After(est, r.Deadline)
 }
 
-// retryEntry is one killed task waiting out its backoff.
+// retryEntry is one killed task waiting out its backoff. Entries queue in
+// a retryHeap (eventq.go) keyed by (time, task ID) so re-admission order
+// is deterministic.
 type retryEntry struct {
 	t  *Task
 	at float64
-}
-
-// pushRetry inserts keeping the queue sorted by (time, task ID) so
-// re-admission order is deterministic.
-func pushRetry(q []retryEntry, e retryEntry) []retryEntry {
-	q = append(q, e)
-	sort.Slice(q, func(i, j int) bool {
-		if q[i].at != q[j].at {
-			return q[i].at < q[j].at
-		}
-		return q[i].t.ID < q[j].t.ID
-	})
-	return q
 }
 
 // faultVictims returns the running tasks that lose their subarrays when

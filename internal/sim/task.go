@@ -38,6 +38,15 @@ type Task struct {
 	Finish      float64 // completion time, or -1 while in flight
 	EnergyJ     float64
 	Preemptions int
+
+	// iso is the model's isolated full-chip run time, interned from the
+	// node's program bindings at admit so fairness accounting needs no
+	// per-retirement lookup.
+	iso float64
+	// pos is the request's position in the caller's input slice (the
+	// Outcome index), resolved once at admit so retirement writes
+	// straight into Finishes/Latency with no ID-index lookup.
+	pos int
 	// Attempts counts fault-induced restarts: a kill resets the task's
 	// progress (EnergyJ keeps accruing — the wasted work was real) and
 	// re-enqueues it after a capped exponential backoff.
@@ -67,7 +76,7 @@ func (t *Task) RemainingCycles(alloc int) int64 {
 		return t.PenaltyCycles
 	}
 	tab := t.Prog.Table(alloc)
-	lp := tab.Layers[t.Layer]
+	lp := &tab.Layers[t.Layer]
 	tilesDone := int64(t.Frac * float64(lp.Tiles))
 	rem := tab.RemainingCycles(t.Layer, tilesDone)
 	if s := t.workScale(); s != 1 {
@@ -137,7 +146,7 @@ func (t *Task) advance(dtCycles int64, params energy.Params) int64 {
 // results checkpoints through DRAM (store now, reload when the task
 // resumes), and the new configuration and instructions load (§V
 // "tile-based scheduling to minimize re-allocation overheads").
-func (t *Task) applyRealloc(newAlloc int64, cfg arch.Config, scale float64) {
+func (t *Task) applyRealloc(newAlloc int64, cfg *arch.Config, scale float64) {
 	if t.Done() {
 		t.Alloc = int(newAlloc)
 		return
@@ -171,7 +180,7 @@ func (t *Task) applyRealloc(newAlloc int64, cfg arch.Config, scale float64) {
 // checkpointCycles models storing and reloading one tile of intermediate
 // results through DRAM with the old allocation's bandwidth share — the
 // paper's observation that tile granularity keeps this to a single tile.
-func (t *Task) checkpointCycles(cfg arch.Config, oldAlloc int) int64 {
+func (t *Task) checkpointCycles(cfg *arch.Config, oldAlloc int) int64 {
 	if t.Done() {
 		return 0
 	}
@@ -211,6 +220,37 @@ type Policy interface {
 	// Quantum returns the re-scheduling period while tasks are waiting
 	// (0 = event-driven only).
 	Quantum() float64
+}
+
+// SliceAllocator is an optional extension of Policy for the engine's
+// zero-allocation scheduling fast path. AllocateInto writes tasks[i]'s
+// new allocation into dst[i] (dst arrives zeroed with len(dst) ==
+// len(tasks)); a slot left at zero stalls that task, exactly like a task
+// omitted from Allocate's map. Implementations must produce the same
+// allocations as their Allocate method and may keep reusable scratch on
+// the policy value — the engine invokes the policy from a single
+// goroutine.
+type SliceAllocator interface {
+	AllocateInto(now float64, tasks []*Task, total int, dst []int)
+}
+
+// validateAllocationSlice enforces the policy contract on the slice fast
+// path without allocating. Unknown-task violations cannot occur (slots
+// are positional), so only the range and sum checks remain; the first
+// violation is reported in task-position order, which is deterministic
+// run-to-run.
+func validateAllocationSlice(alloc []int, tasks []*Task, total int) error {
+	sum := 0
+	for i, a := range alloc {
+		if a < 0 || a > total {
+			return fmt.Errorf("sim: allocation %d for task %d outside [0,%d]", a, tasks[i].ID, total)
+		}
+		sum += a
+	}
+	if sum > total {
+		return fmt.Errorf("sim: policy over-allocated %d of %d subarrays", sum, total)
+	}
+	return nil
 }
 
 // validateAllocation enforces the policy contract.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"planaria/internal/simtime"
 )
 
 // EventKind classifies trace events.
@@ -110,12 +112,26 @@ type Trace struct {
 	Events []Event
 }
 
-// record appends an event (nil-safe: tracing is optional).
+// record appends an event (nil-safe: tracing is optional). Appending
+// within a Reserved buffer's capacity allocates nothing — the engine
+// reserves an arrival-count-based estimate up front so steady-state
+// recording stays off the allocator.
 func (tr *Trace) record(e Event) {
 	if tr == nil {
 		return
 	}
 	tr.Events = append(tr.Events, e)
+}
+
+// Reserve grows the trace's capacity so at least n more events append
+// without reallocating. Nil-safe no-op, like record.
+func (tr *Trace) Reserve(n int) {
+	if tr == nil || n <= cap(tr.Events)-len(tr.Events) {
+		return
+	}
+	grown := make([]Event, len(tr.Events), len(tr.Events)+n)
+	copy(grown, tr.Events)
+	tr.Events = grown
 }
 
 // TasksSeen returns the distinct request IDs in the trace.
@@ -154,7 +170,7 @@ func (tr *Trace) Validate() error {
 	arrived := map[int]bool{}
 	finished := map[int]bool{}
 	for i, e := range tr.Events {
-		if e.Time < prev-1e-12 {
+		if simtime.After(prev, e.Time) {
 			return fmt.Errorf("sim: trace time went backwards at event %d", i)
 		}
 		prev = e.Time

@@ -1,0 +1,26 @@
+package simtime
+
+import "testing"
+
+func TestDueAfter(t *testing.T) {
+	cases := []struct {
+		at, now float64
+		due     bool
+	}{
+		{0, 0, true},
+		{1.0, 1.0 + Eps/2, true},   // within tolerance
+		{1.0 + Eps/2, 1.0, true},   // within tolerance the other way
+		{1.0 + 10*Eps, 1.0, false}, // clearly later
+		{2.0, 1.0, false},
+		{1.0, 2.0, true},
+	}
+	for _, c := range cases {
+		if got := Due(c.at, c.now); got != c.due {
+			t.Errorf("Due(%v, %v) = %v, want %v", c.at, c.now, got, c.due)
+		}
+		// After is exactly the negation of Due with swapped roles.
+		if got := After(c.at, c.now); got != !Due(c.at, c.now) {
+			t.Errorf("After(%v, %v) = %v, want !Due = %v", c.at, c.now, got, !Due(c.at, c.now))
+		}
+	}
+}

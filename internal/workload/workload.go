@@ -163,25 +163,115 @@ func MeetsSLA(reqs []Request, finishes []float64) bool {
 	if len(reqs) != len(finishes) {
 		return false
 	}
-	type counts struct{ ok, total int }
-	per := map[string]*counts{}
-	for i, r := range reqs {
-		c := per[r.Domain]
-		if c == nil {
-			c = &counts{}
-			per[r.Domain] = c
-		}
+	per := make([]domCount, 0, 8)
+	var c *domCount
+	for i := range reqs {
+		r := &reqs[i]
+		per, c = domSlot(per, r.Domain)
 		c.total++
 		if finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
 			c.ok++
 		}
 	}
-	for dom, c := range per {
-		if float64(c.ok) < SLATarget(dom)*float64(c.total)-1e-9 {
+	for i := range per {
+		if float64(per[i].ok) < SLATarget(per[i].dom)*float64(per[i].total)-1e-9 {
 			return false
 		}
 	}
 	return true
+}
+
+// SLAOutcome computes MeetsSLA and DeadlineFraction together in a
+// single pass over the stream — the two results the serving layers
+// always want as a pair. It returns exactly what the separate calls
+// would: (false, 0) on a length mismatch, and identical per-domain and
+// overall tallies otherwise.
+func SLAOutcome(reqs []Request, finishes []float64) (bool, float64) {
+	if len(reqs) != len(finishes) {
+		return false, 0
+	}
+	if len(reqs) == 0 {
+		return true, 0 // matches MeetsSLA (vacuous) and DeadlineFraction
+	}
+	per := make([]domCount, 0, 8)
+	var c *domCount
+	ok := 0
+	for i := range reqs {
+		r := &reqs[i]
+		per, c = domSlot(per, r.Domain)
+		c.total++
+		if finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
+			c.ok++
+			ok++
+		}
+	}
+	meets := true
+	for i := range per {
+		if float64(per[i].ok) < SLATarget(per[i].dom)*float64(per[i].total)-1e-9 {
+			meets = false
+			break
+		}
+	}
+	return meets, float64(ok) / float64(len(reqs))
+}
+
+// SLAOutcomeFlat is SLAOutcome over pre-flattened columns: domIDs[i]
+// indexes domNames (interned in first-sight order), deadlines[i] is the
+// request's deadline. Serving layers that already stream the request
+// array once can build these columns in that pass and keep the SLA
+// tally off the 96-byte-stride records entirely. Results are identical
+// to SLAOutcome on the originating requests.
+func SLAOutcomeFlat(domIDs []uint8, domNames []string, deadlines, finishes []float64) (bool, float64) {
+	n := len(deadlines)
+	if len(domIDs) != n || len(finishes) != n {
+		return false, 0
+	}
+	if n == 0 {
+		return true, 0
+	}
+	okPer := make([]int, len(domNames))
+	totPer := make([]int, len(domNames))
+	ok := 0
+	for i := 0; i < n; i++ {
+		d := domIDs[i]
+		totPer[d]++
+		if finishes[i] >= 0 && finishes[i] <= deadlines[i]+1e-12 {
+			okPer[d]++
+			ok++
+		}
+	}
+	meets := true
+	for d, name := range domNames {
+		if totPer[d] == 0 {
+			continue
+		}
+		if float64(okPer[d]) < SLATarget(name)*float64(totPer[d])-1e-9 {
+			meets = false
+			break
+		}
+	}
+	return meets, float64(ok) / float64(n)
+}
+
+// domCount tallies one domain's within-deadline results. The handful of
+// domains lives in a small slice: a linear scan with string equality's
+// pointer fast path (domain strings are shared, not rebuilt per request)
+// beats hashing every request's domain, and the aggregate is identical —
+// per-domain counts don't depend on bucket order.
+type domCount struct {
+	dom       string
+	ok, total int
+}
+
+// domSlot returns the tally slot for dom, appending one on first sight.
+func domSlot(per []domCount, dom string) ([]domCount, *domCount) {
+	for i := range per {
+		if per[i].dom == dom {
+			return per, &per[i]
+		}
+	}
+	per = append(per, domCount{dom: dom})
+	return per, &per[len(per)-1]
 }
 
 // DeadlineFraction returns the fraction of requests whose finish meets
@@ -193,8 +283,8 @@ func DeadlineFraction(reqs []Request, finishes []float64) float64 {
 		return 0
 	}
 	ok := 0
-	for i, r := range reqs {
-		if finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
+	for i := range reqs {
+		if finishes[i] >= 0 && finishes[i] <= reqs[i].Deadline+1e-12 {
 			ok++
 		}
 	}
@@ -205,22 +295,19 @@ func DeadlineFraction(reqs []Request, finishes []float64) float64 {
 // (achieved within-deadline fraction − required fraction); positive means
 // the SLA holds with margin. Useful for diagnostics and tests.
 func TailLatencySlack(reqs []Request, finishes []float64) float64 {
-	type counts struct{ ok, total int }
-	per := map[string]*counts{}
-	for i, r := range reqs {
-		c := per[r.Domain]
-		if c == nil {
-			c = &counts{}
-			per[r.Domain] = c
-		}
+	per := make([]domCount, 0, 8)
+	var c *domCount
+	for i := range reqs {
+		r := &reqs[i]
+		per, c = domSlot(per, r.Domain)
 		c.total++
 		if i < len(finishes) && finishes[i] >= 0 && finishes[i] <= r.Deadline+1e-12 {
 			c.ok++
 		}
 	}
 	slack := math.Inf(1)
-	for dom, c := range per {
-		s := float64(c.ok)/float64(c.total) - SLATarget(dom)
+	for i := range per {
+		s := float64(per[i].ok)/float64(per[i].total) - SLATarget(per[i].dom)
 		if s < slack {
 			slack = s
 		}
