@@ -1,8 +1,11 @@
 // Package analysis implements planaria-vet, a suite of static analyzers
-// that machine-check the repository's determinism contract (DESIGN.md §8):
-// the cycle-level simulator, the spatial scheduler, and the PREMA baseline
-// must produce bit-identical metrics run-to-run, or the paper's
-// spatial-vs-temporal comparison is noise.
+// that machine-check the repository's determinism contract (DESIGN.md §8)
+// and performance contract (DESIGN.md §13): the cycle-level simulator,
+// the spatial scheduler, and the PREMA baseline must produce
+// bit-identical metrics run-to-run, or the paper's spatial-vs-temporal
+// comparison is noise — and the serving hot paths must stay on the
+// zero-allocation steady state PR 6 established, or the 100×-scale
+// sweeps regress silently.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer / Pass / Diagnostic) but is self-contained on the standard
@@ -24,11 +27,23 @@
 //	floataccum — flags float accumulation whose iteration order comes
 //	             from a map range (run-to-run drift in energy/latency
 //	             totals).
+//	perfannot  — validates the //perf: annotation family itself (known
+//	             marker, mandatory reason, hot/cold on function decls).
+//	hotalloc   — flags allocation-inducing constructs inside the
+//	             //perf:hot closure (escaping composites, make/append in
+//	             loops, string concat, fmt calls, interface boxing).
+//	poolcheck  — sync.Pool discipline: deferred Put for every Get, no
+//	             escaping pooled values, pointer-holding slice fields
+//	             reset before Put.
+//	obsguard   — expensive obs probes in hot code must sit behind an
+//	             enablement guard; nil-safe probes pass unguarded.
 //
 // Annotation syntax: a loop or statement is exempted by a line comment
 // `//det:<marker>-ok <reason>` on the same line or the line directly
 // above; the reason is mandatory. Markers: mapiter, clock, parorder,
-// floataccum.
+// floataccum. The performance analyzers use the //perf: family the same
+// way (hot, cold, alloc-ok, pool-ok, obsguard-ok; see perf.go and
+// callgraph.go).
 package analysis
 
 import (
@@ -64,6 +79,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Hot is the //perf:hot closure the performance analyzers consult.
+	// Drivers that load a whole tree pass a module-wide set (hotness
+	// crosses package boundaries); Run falls back to a per-package set.
+	Hot *HotSet
 
 	diags []Diagnostic
 }
@@ -77,20 +96,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the analyzers in the suite, in stable order.
+// All returns the analyzers in the suite, in stable order: the
+// determinism checkers first, then the performance-contract checkers.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, NoClock, ParOrder, FloatAccum}
+	return []*Analyzer{MapOrder, NoClock, ParOrder, FloatAccum, PerfAnnot, HotAlloc, PoolCheck, ObsGuard}
 }
 
 // Run applies one analyzer to a loaded package and returns its findings
-// sorted by source position.
+// sorted by source position. The hot closure is computed over the single
+// package; use RunWithHot with a ComputeHot over every loaded package
+// when hotness must propagate across package boundaries.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunWithHot(a, pkg, pkg.hotSet())
+}
+
+// RunWithHot is Run with an explicit hot closure (typically module-wide,
+// from ComputeHot over all loaded packages).
+func RunWithHot(a *Analyzer, pkg *Package, hot *HotSet) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Hot:      hot,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, err
@@ -125,6 +154,13 @@ var DeterministicPackages = map[string]bool{
 	// simulated time only; BENCH_cluster.json and the 1-chip conformance
 	// artifacts are compared byte-for-byte run-to-run.
 	"cluster": true,
+	// Workload generation feeds every byte-compared artifact: the same
+	// seed must yield the same request stream, and the SLA tallies must
+	// not depend on iteration order.
+	"workload": true,
+	// The shared simulated-time comparisons (epsilon discipline) back
+	// every scheduling decision above.
+	"simtime": true,
 }
 
 // annotations maps source lines to //det:<marker>-ok annotation reasons

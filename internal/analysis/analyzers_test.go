@@ -28,9 +28,44 @@ func TestFloatAccum(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.FloatAccum, "accum")
 }
 
+// The performance-contract fixtures (DESIGN.md §13). hotalloc and
+// obsguard mirror the shapes PR 6 hand-built in sim.Node.Run — tracer
+// guards, hoisted guard bools, error exits — so deleting one of those
+// guards in the real engine is the same AST shape the fixtures pin red.
+// poolcheck mirrors nodeScratchPool's deferred Put-with-resets, and its
+// bad cases are exactly what deleting the Put call or the reset lines
+// would produce.
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc, "hotalloc")
+}
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PoolCheck, "poolcheck")
+}
+
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ObsGuard, "obsguard")
+}
+
+// TestHotPropagation pins the call-graph engine: //perf:hot flows from
+// an annotated root into unannotated callees (transitively, with the
+// diagnostic naming the root), //perf:cold stops it, and call sites
+// inside observability guards contribute no edges.
+func TestHotPropagation(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc, "hotprop")
+}
+
+func TestPerfAnnot(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PerfAnnot, "perfbad")
+}
+
 // TestRepoClean runs the full suite over the repository tree — the same
 // gate CI applies via `go run ./cmd/planaria-vet ./...` — so a
-// determinism violation anywhere fails the package tests too.
+// determinism or performance-contract violation anywhere fails the
+// package tests too. Like the vet command, it loads every package
+// before computing the hot closure so //perf:hot propagates across
+// import edges.
 func TestRepoClean(t *testing.T) {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
@@ -43,13 +78,18 @@ func TestRepoClean(t *testing.T) {
 	if len(dirs) < 10 {
 		t.Fatalf("expected to find the repository's packages, got %d dirs", len(dirs))
 	}
+	pkgs := make([]*analysis.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			t.Fatalf("load %s: %v", dir, err)
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	hot := analysis.ComputeHot(pkgs)
+	for _, pkg := range pkgs {
 		for _, a := range analysis.All() {
-			diags, err := analysis.Run(a, pkg)
+			diags, err := analysis.RunWithHot(a, pkg, hot)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
 			}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds the intra-module call graph behind the //perf:hot
+// annotation (DESIGN.md §13). A hot root — sim.Node.Run, cluster.Run —
+// promises the zero-allocation steady state; that promise extends to
+// every module-local function the root reaches, so the closure is
+// computed here once and shared by hotalloc and obsguard.
+//
+// Edges are collected per function declaration, in source order, from
+// every call expression whose callee resolves to a module-local function
+// or concrete method (interface method calls do not resolve — dynamic
+// callees such as sched policies carry their own //perf:hot roots).
+// Call sites inside cold regions (observability-guard bodies and
+// error-exit blocks, see coldRegions) contribute no edges: a formatter
+// invoked only under `if tracer != nil` is not on the hot path.
+// A //perf:cold annotation stops propagation at a declaration —
+// constructors and per-run setup helpers that a hot root calls once
+// before entering its steady-state loop.
+
+// A HotSet is the computed hot closure over one or more packages.
+type HotSet struct {
+	facts map[*types.Func]hotFact
+}
+
+// hotFact records how a function became hot.
+type hotFact struct {
+	// reason is the annotation reason of the root.
+	reason string
+	// root is the annotated declaration the hotness propagated from
+	// (the function itself when directly annotated).
+	root *types.Func
+	// direct marks an explicitly annotated root.
+	direct bool
+}
+
+// hot reports whether fn is in the closure.
+func (h *HotSet) hot(fn *types.Func) (hotFact, bool) {
+	if h == nil || fn == nil {
+		return hotFact{}, false
+	}
+	f, ok := h.facts[fn]
+	return f, ok
+}
+
+// hotDecl is the convenience lookup the analyzers use: the fact for a
+// declaration in the current pass, or ok=false for non-hot functions.
+func (p *Pass) hotDecl(decl *ast.FuncDecl) (hotFact, bool) {
+	return p.Hot.hot(funcDeclObj(p.Info, decl))
+}
+
+// via renders the propagation origin for diagnostics: empty for direct
+// roots, " (hot via <root>)" for propagated hotness.
+func (f hotFact) via() string {
+	if f.direct || f.root == nil {
+		return ""
+	}
+	return " (hot via " + f.root.FullName() + ")"
+}
+
+// declSite pairs a function object with its declaration.
+type declSite struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// ComputeHot builds the hot closure over the given packages. Functions
+// annotated //perf:hot seed the closure; reachability follows resolved
+// calls between the given packages' declarations, skipping cold regions
+// and //perf:cold declarations. The walk is deterministic: roots and
+// work items are processed in source-position order.
+func ComputeHot(pkgs []*Package) *HotSet {
+	decls := map[*types.Func]declSite{}
+	cold := map[*types.Func]bool{}
+	h := &HotSet{facts: map[*types.Func]hotFact{}}
+
+	var queue []*types.Func
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			anns := perfAnnotationsFor(pkg.Fset, file)
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				fn := funcDeclObj(pkg.Info, decl)
+				if fn == nil {
+					continue
+				}
+				decls[fn] = declSite{decl: decl, pkg: pkg}
+				marker, reason, ok := perfFuncAnn(pkg.Fset, anns, decl)
+				if !ok {
+					continue
+				}
+				switch marker {
+				case "cold":
+					cold[fn] = true
+				case "hot":
+					h.facts[fn] = hotFact{reason: reason, root: fn, direct: true}
+					queue = append(queue, fn)
+				}
+			}
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Pos() < queue[j].Pos() })
+
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		site, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		fact := h.facts[fn]
+		for _, callee := range hotCallees(site.pkg, site.decl) {
+			if cold[callee] {
+				continue
+			}
+			if _, seen := h.facts[callee]; seen {
+				continue
+			}
+			if _, local := decls[callee]; !local {
+				continue
+			}
+			h.facts[callee] = hotFact{reason: fact.reason, root: fact.root}
+			queue = append(queue, callee)
+		}
+	}
+	return h
+}
+
+// hotCallees returns the resolved callees of decl's hot call sites in
+// source order, excluding calls inside cold regions.
+func hotCallees(pkg *Package, decl *ast.FuncDecl) []*types.Func {
+	skip := coldRegions(pkg.Info, decl.Body)
+	var out []*types.Func
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if skip.contains(call.Pos()) {
+			return true
+		}
+		if fn := calleeFunc(pkg.Info, call); fn != nil {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeFunc resolves a call expression to its static callee: a
+// package-level function, a concrete method (through a selection), or a
+// package-qualified function of another module package. Interface
+// method calls, closure variables, and function-typed fields return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			// A concrete receiver resolves statically; an interface
+			// receiver does not — the dynamic callee is unknown.
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				if types.IsInterface(recv.Type()) {
+					return nil
+				}
+			}
+			return fn
+		}
+		// Package-qualified: obs.New, fault.NewInjector, ...
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -23,6 +23,17 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// hot memoizes the single-package //perf:hot closure for Run.
+	hot *HotSet
+}
+
+// hotSet returns the package-local hot closure, computed once.
+func (p *Package) hotSet() *HotSet {
+	if p.hot == nil {
+		p.hot = ComputeHot([]*Package{p})
+	}
+	return p.hot
 }
 
 // A Loader parses and type-checks packages of the enclosing module

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsGuard checks that the expensive observability probes inside the
+// //perf:hot closure sit behind an enablement guard. PR 6 wrapped every
+// such probe by hand (`if tracer != nil { tracer.Instant(...) }`,
+// `tracing := n.Trace != nil; if tracing { n.Trace.record(...) }`)
+// because the probes format strings and materialize event structs even
+// when observability is off; this analyzer makes deleting one of those
+// guards a vet failure.
+//
+// Guard-required probes: TraceBuilder.Span/Instant/Counter (they
+// Sprintf label strings at most call sites) and Trace.record (its Event
+// argument is materialized before the nil check inside can help).
+// The known nil-safe inline paths — Counter.Inc/Add, Gauge.Set/Max,
+// Histogram.Observe, Registry.Counter/Gauge/Histogram, Observer
+// accessors, and both Reserve methods — are cheap no-ops when disabled
+// and may appear unguarded. //perf:obsguard-ok <reason> exempts a call.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc: "requires nil/enabled guards around expensive obs probes (TraceBuilder.Span/" +
+		"Instant/Counter, Trace.record) in //perf:hot code; nil-safe probes pass unguarded",
+	Run: runObsGuard,
+}
+
+// guardRequired lists the probe methods that must be guarded in hot
+// code, keyed by receiver type name.
+var guardRequired = map[string]map[string]bool{
+	"TraceBuilder": {"Span": true, "Instant": true, "Counter": true},
+	"Trace":        {"record": true, "Record": true},
+}
+
+func runObsGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		anns := perfByLine(perfAnnotationsFor(pass.Fset, f), "obsguard-ok")
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fact, hot := pass.hotDecl(decl)
+			if !hot {
+				continue
+			}
+			pass.checkObsGuards(anns, decl, fact)
+		}
+	}
+	return nil
+}
+
+func (p *Pass) checkObsGuards(anns annotations, decl *ast.FuncDecl, fact hotFact) {
+	// coldRegions includes every recognized guard body plus error exits;
+	// a probe inside either is fine (error paths are off the steady
+	// state by definition).
+	skip := coldRegions(p.Info, decl.Body)
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		typeName, method, ok := p.obsProbe(call)
+		if !ok {
+			return true
+		}
+		req := guardRequired[typeName]
+		if req == nil || !req[method] {
+			return true
+		}
+		if skip.contains(call.Pos()) {
+			return true
+		}
+		if p.exemptPerf(anns, call, "obsguard-ok") {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"unguarded %s.%s probe in hot function %s%s: wrap it in an enablement check "+
+				"(if tracer != nil { ... }) so disabled observability costs one branch",
+			typeName, method, decl.Name.Name, fact.via())
+		return true
+	})
+}
+
+// obsProbe resolves a call to (receiver type name, method) when the
+// receiver is an observability-layer type (see obsValueType).
+func (p *Pass) obsProbe(call *ast.CallExpr) (typeName, method string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, found := p.Info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	recv := s.Recv()
+	if !obsValueType(recv) {
+		return "", "", false
+	}
+	if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	return named.Obj().Name(), sel.Sel.Name, true
+}

@@ -52,7 +52,11 @@ func runParOrder(pass *Pass) error {
 	return nil
 }
 
-// parCallee reports whether call invokes internal/par's ForEach/ForEachN.
+// parCallee reports whether call invokes one of internal/par's
+// closure-running primitives: ForEach/ForEachN (bounded worker pool) or
+// PerItem (one goroutine per item, PR 6's sharded chip execution). All
+// three share the contract parorder enforces — parallel compute,
+// index-confined writes, deterministic aggregation afterwards.
 func (p *Pass) parCallee(call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -62,10 +66,11 @@ func (p *Pass) parCallee(call *ast.CallExpr) (string, bool) {
 	if !ok || !(path == "internal/par" || strings.HasSuffix(path, "/internal/par")) {
 		return "", false
 	}
-	if sel.Sel.Name != "ForEach" && sel.Sel.Name != "ForEachN" {
-		return "", false
+	switch sel.Sel.Name {
+	case "ForEach", "ForEachN", "PerItem":
+		return sel.Sel.Name, true
 	}
-	return sel.Sel.Name, true
+	return "", false
 }
 
 func (p *Pass) checkParClosure(file *ast.File, ann annotations, name string, call *ast.CallExpr, fn *ast.FuncLit) {

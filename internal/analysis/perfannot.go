@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PerfAnnot validates the //perf: annotation family itself — the CI
+// self-check the performance contract rides on. A malformed annotation
+// silently weakens the other analyzers (an unmatched marker exempts
+// nothing; a missing reason hides why an exemption is sound), so every
+// //perf: comment must:
+//
+//   - use a known marker (hot, cold, alloc-ok, pool-ok, obsguard-ok);
+//   - carry a reason;
+//   - for hot/cold: annotate a function declaration (in its doc comment
+//     or on the line directly above).
+var PerfAnnot = &Analyzer{
+	Name: "perfannot",
+	Doc: "validates //perf: annotations: known marker, mandatory reason, " +
+		"hot/cold attached to function declarations",
+	Run: runPerfAnnot,
+}
+
+func runPerfAnnot(pass *Pass) error {
+	for _, f := range pass.Files {
+		anns := perfAnnotationsFor(pass.Fset, f)
+		if len(anns) == 0 {
+			continue
+		}
+		// Collect the line windows where a hot/cold annotation may sit:
+		// [doc start − covered by Doc — , decl line] per function.
+		type window struct{ lo, hi int }
+		var funcs []window
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			declLine := pass.Fset.Position(decl.Pos()).Line
+			lo := declLine - 1
+			if decl.Doc != nil {
+				if docLine := pass.Fset.Position(decl.Doc.Pos()).Line; docLine < lo {
+					lo = docLine
+				}
+			}
+			funcs = append(funcs, window{lo: lo, hi: declLine})
+		}
+		onFunc := func(line int) bool {
+			for _, w := range funcs {
+				if line >= w.lo && line <= w.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		for _, ann := range anns {
+			if !perfMarkers[ann.Marker] {
+				pass.Reportf(ann.Pos,
+					"unknown //perf: marker %q (known: hot, cold, alloc-ok, pool-ok, obsguard-ok)",
+					ann.Marker)
+				continue
+			}
+			if ann.Reason == "" {
+				pass.Reportf(ann.Pos, "//perf:%s annotation requires a reason", ann.Marker)
+			}
+			if (ann.Marker == "hot" || ann.Marker == "cold") && !onFunc(ann.Line) {
+				pass.Reportf(ann.Pos,
+					"//perf:%s must annotate a function declaration (doc comment or the line above)",
+					ann.Marker)
+			}
+		}
+	}
+	return nil
+}

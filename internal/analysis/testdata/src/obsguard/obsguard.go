@@ -1,0 +1,84 @@
+// Package obsguard exercises the obsguard analyzer against the tracer
+// guards PR 6 hand-built in sim.Node.Run: expensive probes in hot code
+// need an enablement guard, nil-safe probes and guarded or error-path
+// probes pass. The unguarded case mirrors exactly what deleting one of
+// the engine's `if tracing { ... }` wrappers would look like.
+package obsguard
+
+import "errors"
+
+type ev struct {
+	kind string
+	at   float64
+}
+
+// Trace mirrors sim.Trace: record materializes its Event argument even
+// when the internal nil check bails, so call sites must guard.
+type Trace struct{ events []ev }
+
+func (t *Trace) record(e ev) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Observer mirrors the nil-safe obs handles (Counter.Inc and friends):
+// cheap no-ops when disabled, allowed inline in hot code.
+type Observer struct{ count int }
+
+func (o *Observer) bump() {
+	if o == nil {
+		return
+	}
+	o.count++
+}
+
+type node struct {
+	trace *Trace
+	obs   *Observer
+}
+
+var errBad = errors.New("bad event")
+
+//perf:hot fixture steady state: unguarded probes are findings
+func unguarded(n *node, at float64) {
+	n.trace.record(ev{kind: "arrive", at: at}) // want `unguarded Trace\.record probe in hot function unguarded`
+}
+
+//perf:hot fixture steady state: the PR 6 guard shape passes
+func guarded(n *node, at float64) {
+	if n.trace != nil {
+		n.trace.record(ev{kind: "arrive", at: at})
+	}
+}
+
+//perf:hot fixture steady state: hoisted guard bools pass
+func hoisted(n *node, events []float64) {
+	tracing := n.trace != nil
+	for _, at := range events {
+		if tracing {
+			n.trace.record(ev{kind: "tick", at: at})
+		}
+	}
+}
+
+//perf:hot fixture steady state: failure paths may probe freely
+func errExit(n *node, at float64) error {
+	if at < 0 {
+		n.trace.record(ev{kind: "reject", at: at})
+		return errBad
+	}
+	return nil
+}
+
+//perf:hot fixture steady state: nil-safe probes may run inline
+func nilsafe(n *node) {
+	n.obs.bump()
+}
+
+//perf:hot fixture steady state: explicit exemptions silence the analyzer
+func exempt(n *node, at float64) {
+	//perf:obsguard-ok fixture: once-per-run summary probe, cost accepted
+	n.trace.record(ev{kind: "summary", at: at})
+}

@@ -75,6 +75,26 @@ func BadLoopCapture(items []float64) []float64 {
 	return out
 }
 
+// GoodPerItem: the per-item fan-out obeys the same slot contract as
+// ForEach and passes when writes stay index-addressed.
+func GoodPerItem(n int) []float64 {
+	out := make([]float64, n)
+	par.PerItem(n, func(i int) {
+		out[i] = work(i)
+	})
+	return out
+}
+
+// BadPerItem reduces into shared state through the per-item entry
+// point, which is just as order-sensitive as the worker pool.
+func BadPerItem(n int) float64 {
+	var sum float64
+	par.PerItem(n, func(i int) {
+		sum += work(i) // want `writes captured sum outside its index-addressed slot`
+	})
+	return sum
+}
+
 // AnnotatedMutex serializes a provably order-insensitive write (an
 // integer counter) and says so.
 func AnnotatedMutex(n int) int {

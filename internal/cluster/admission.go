@@ -84,6 +84,8 @@ type admissionState struct {
 
 // newAdmissionState validates and instantiates the configured buckets.
 // A nil/empty config disables admission control entirely.
+//
+//perf:cold once-per-run constructor; the per-request path is admit
 func newAdmissionState(cfg map[string]TokenBucket) (*admissionState, error) {
 	if len(cfg) == 0 {
 		return nil, nil

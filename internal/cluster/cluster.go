@@ -197,6 +197,8 @@ type healthSteps struct {
 
 // healthStepsOf replays a schedule into its step function. Nil (or
 // empty) schedules yield nil: the chip is always fully alive.
+//
+//perf:cold per-run setup: health timelines build once before the serving loop
 func healthStepsOf(s *fault.Schedule) (*healthSteps, error) {
 	if s.Empty() {
 		return nil, nil
@@ -309,6 +311,8 @@ func grow[T any](buf []T, n int) []T {
 // chip simulations, then merges per-chip outcomes back onto the original
 // stream. Requests must have unique IDs; each is dispatched to at most
 // one chip.
+//
+//perf:hot cluster front-end steady state: admit/batch/dispatch per request without allocating (DESIGN.md §13)
 func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -354,9 +358,11 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	cAdmShed := reg.Counter("cluster_admission_shed_total")
 	cUnroutable := reg.Counter("cluster_unroutable_shed_total")
 	cBatches := reg.Counter("cluster_batches_total")
+	//perf:alloc-ok once-per-run metric registration, off the per-request path
 	hBatch := reg.Histogram("cluster_batch_size", []float64{1, 2, 4, 8, 16, 32})
 	cDispatch := make([]*obs.Counter, cfg.Chips)
 	for i := range cDispatch {
+		//perf:alloc-ok per-chip handle interning at run start, not per dispatch
 		cDispatch[i] = reg.Counter("cluster_dispatch_total", obs.L("chip", fmt.Sprintf("%02d", i)))
 	}
 	// Per-chip backlog counter track names, rendered once instead of per
@@ -420,6 +426,7 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		}
 	}
 
+	//perf:alloc-ok single result object per run
 	out := &Outcome{
 		Finishes:   make([]float64, len(reqs)),
 		Latency:    make([]float64, len(reqs)),
@@ -441,7 +448,9 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	// tally them); the ID column feeds the flat SLA pass at the end.
 	// More than 255 distinct domains overflows the uint8 column and
 	// falls back to the record-walking SLA path.
-	var domNames []string
+	// Domain intern table: a serving mix has a handful of domains, so a
+	// small preallocation absorbs the interning appends.
+	domNames := make([]string, 0, 8)
 	domOverflow := false
 	for i := range reqs {
 		r := &reqs[i]
@@ -501,6 +510,7 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		for i := range order {
 			order[i] = i
 		}
+		//perf:alloc-ok unsorted-arrival fallback; sorted streams never enter
 		sort.SliceStable(order, func(a, b int) bool {
 			return reqs[order[a]].Arrival < reqs[order[b]].Arrival
 		})
@@ -564,6 +574,7 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		}
 	}
 	if !admitsSorted {
+		//perf:alloc-ok resort runs only when admission queueing reordered admits
 		sort.SliceStable(admits, func(a, b int) bool { return admits[a].at < admits[b].at })
 	}
 
@@ -725,12 +736,13 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			b.members = b.members[:0]
 			return b
 		}
+		//perf:alloc-ok batch-object miss path; steady state recycles via batchPool above
 		return &openBatch{model: model, closeAt: closeAt, members: make([]int, 0, memberCap)}
 	}
 	// The handful of concurrently open windows (one per model) lives in a
 	// small list: a linear scan beats per-admit string hashing, and there
 	// is no map to keep planaria-vet's iteration checker away from.
-	var openList []*openBatch
+	openList := make([]*openBatch, 0, 8)
 	findOpen := func(model int) *openBatch {
 		for _, b := range openList {
 			if b.model == model {
@@ -839,9 +851,11 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	results := make([]*ChipResult, cfg.Chips)
 	errs := make([]error, cfg.Chips)
 	par.PerItem(cfg.Chips, func(i int) {
+		//perf:alloc-ok one result object per chip per run
 		cr := &ChipResult{Requests: perChip[i]}
 		results[i] = cr
 		if cfg.ChipTraces {
+			//perf:alloc-ok per-chip trace sink, built only when chip traces are requested
 			cr.Trace = &sim.Trace{}
 		}
 		if cfg.Observe {
@@ -854,6 +868,7 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		if ob, ok := pol.(obs.Observable); ok && cr.Obs != nil {
 			ob.SetObserver(cr.Obs)
 		}
+		//perf:alloc-ok one simulated node per chip per run
 		node := &sim.Node{
 			Cfg:       cfg.System.Cfg,
 			Policy:    pol,

@@ -39,6 +39,7 @@ func Policies() []string {
 // NewBalancer constructs a fresh balancer by name. Accepted names (and
 // aliases): "round-robin" ("rr"), "least-work" ("lw", "jsq"),
 // "affinity" ("hash").
+//perf:cold once-per-run constructor; the per-request path is Pick
 func NewBalancer(name string) (Balancer, error) {
 	switch name {
 	case "round-robin", "rr":

@@ -70,6 +70,8 @@ type Registry struct {
 }
 
 // NewRegistry returns an empty registry.
+//
+//perf:cold once-per-run constructor
 func NewRegistry() *Registry {
 	return &Registry{core: &regCore{series: map[string]*metric{}}}
 }
@@ -163,6 +165,8 @@ type Histogram struct {
 }
 
 // Counter finds or creates a counter series.
+//
+//perf:cold handle registration: series intern once, callers keep the handle
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
@@ -171,6 +175,8 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 }
 
 // Gauge finds or creates a gauge series.
+//
+//perf:cold handle registration: series intern once, callers keep the handle
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
@@ -181,6 +187,8 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // Histogram finds or creates a histogram series with the given upper
 // bucket bounds (a +Inf bucket is implicit). Bounds are fixed at first
 // registration; later calls reuse the existing series.
+//
+//perf:cold handle registration: series intern once, callers keep the handle
 func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
@@ -190,6 +198,8 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 
 // Add increases the counter by v (negative deltas are ignored: counters
 // are monotone).
+//
+//perf:hot per-event probe: nil-safe, no formatting, no allocation
 func (c *Counter) Add(v float64) {
 	if c == nil || v < 0 {
 		return
@@ -202,6 +212,8 @@ func (c *Counter) Add(v float64) {
 // Inc increases the counter by one. The nil check lives here (not only
 // in Add) so the disabled-observability case inlines to an untaken
 // branch at the call site instead of a function call per probe.
+//
+//perf:hot per-event probe: nil-safe, no formatting, no allocation
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -210,6 +222,8 @@ func (c *Counter) Inc() {
 }
 
 // Set replaces the gauge's value.
+//
+//perf:hot per-event probe: nil-safe, no formatting, no allocation
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -221,6 +235,8 @@ func (g *Gauge) Set(v float64) {
 
 // Max raises the gauge to v if v exceeds the current value (a running
 // high-water mark on simulated time).
+//
+//perf:hot per-event probe: nil-safe, no formatting, no allocation
 func (g *Gauge) Max(v float64) {
 	if g == nil {
 		return
@@ -233,6 +249,8 @@ func (g *Gauge) Max(v float64) {
 }
 
 // Observe records one sample into the histogram.
+//
+//perf:hot per-event probe: nil-safe, no formatting, no allocation
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -150,6 +150,8 @@ func (n *Node) penaltyScale() float64 {
 // Run simulates the requests to completion and computes the outcome
 // metrics. Isolated times for fairness come from each program's
 // full-allocation table.
+//
+//perf:hot serving steady state: the per-event loop must not allocate (DESIGN.md §13)
 func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	if n.Policy == nil {
 		return nil, fmt.Errorf("sim: node has no policy")
@@ -207,8 +209,10 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	}
 	for i := 1; i < len(reqs); i++ {
 		if reqs[i].Arrival <= reqs[i-1].Arrival {
+			//perf:alloc-ok unsorted-input fallback: runs at most once, sorted streams never enter
 			cp := make([]workload.Request, len(reqs))
 			copy(cp, reqs)
+			//perf:alloc-ok same fallback: one sort of a copied stream
 			sort.Slice(cp, func(i, j int) bool { return cp[i].Arrival < cp[j].Arrival })
 			pending = cp
 			aliased = false
@@ -254,6 +258,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		nodeScratchPool.Put(sc)
 	}()
 
+	//perf:alloc-ok single result object per run
 	out := &Outcome{
 		Finishes: make([]float64, len(reqs)),
 		Latency:  make([]float64, len(reqs)),
@@ -557,6 +562,7 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		var alloc map[int]int
 		if fastPolicy {
 			if cap(allocBuf) < len(tasks) {
+				//perf:alloc-ok amortized growth of pooled scratch; steady state takes the cap fast path
 				allocBuf = make([]int, len(tasks))
 			}
 			allocBuf = allocBuf[:len(tasks)]

@@ -191,6 +191,8 @@ type retryEntry struct {
 // placement: running tasks in ID order occupy consecutive
 // previously-alive subarrays, and a task dies iff one of its subarrays
 // did. Victims are returned in ID order.
+//
+//perf:cold fault-transition path: runs per fault event, never on the no-fault steady state
 func faultVictims(tasks []*Task, prevUsable []bool, h *fault.Health, mode FaultMode, anyDown bool) []*Task {
 	if !anyDown {
 		return nil

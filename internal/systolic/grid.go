@@ -410,6 +410,8 @@ func (g *Grid) initCalendar() {
 
 // Run simulates until every cluster has drained all outputs or maxCycles
 // elapse. It returns the number of cycles simulated.
+//
+//perf:hot cycle-level inner loop: per-delivery work must stay allocation-free
 func (g *Grid) Run(maxCycles int64) (int64, error) {
 	if g.ran {
 		return 0, fmt.Errorf("systolic: grid already ran")
