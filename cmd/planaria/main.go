@@ -5,7 +5,7 @@
 //	planaria [flags] <experiment>...
 //
 // Experiments: table1, table2, fig12, fig13, fig14, fig15, fig16, fig17,
-// fig18, fig19, ablation, models, trace, chaos, cluster, all.
+// fig18, fig19, ablation, models, trace, chaos, cluster, attrib, all.
 //
 // The trace experiment runs one instrumented co-location instance on both
 // systems and writes a Perfetto-loadable timeline (-trace-out) and a
@@ -22,6 +22,15 @@
 // (-batch-window); each cell reports its bisected maximum SLA-meeting
 // QPS for both systems. -cluster-out writes the deterministic
 // BENCH_cluster.json artifact.
+//
+// The attrib experiment answers "why did my request miss its SLA?": it
+// runs a mixed-QoS stream through the cluster with the attribution
+// ledger on and prints, per model × QoS level, where each request's
+// latency went (admit-wait, batch-wait, queue-wait, compute,
+// preempt-stall, retry-backoff, fault-stall), the dominant cause of
+// each SLA violation, and the per-chip/fleet utilization breakdown
+// (busy/idle/faulted/reconfig cycles). -attrib-out writes the
+// deterministic BENCH_attrib.json artifact.
 //
 // Flags tune simulation fidelity; the defaults match EXPERIMENTS.md.
 // Profiling flags (-cpuprofile, -memprofile, -phasestats) live here in
@@ -125,12 +134,13 @@ func run() int {
 	batchWindow := flag.Float64("batch-window", 0, "cluster dynamic-batching window in seconds (0 disables batching)")
 	maxBatch := flag.Int("max-batch", 8, "cluster batch size cap (with -batch-window > 0)")
 	clusterOut := flag.String("cluster-out", "", "write the cluster experiment's BENCH_cluster.json artifact to this file")
+	attribOut := flag.String("attrib-out", "", "write the attrib experiment's BENCH_attrib.json artifact to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	phasestats := flag.Bool("phasestats", false, "report per-phase wall-clock and allocations on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: planaria [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos cluster all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos cluster attrib all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -307,6 +317,13 @@ func run() int {
 			return fail(err)
 		}
 		phases.mark("cluster")
+	}
+	if want["attrib"] {
+		if err := runAttrib(suite, *scenario, *rate, *batchWindow, *maxBatch,
+			*attribOut, *requests, *seed); err != nil {
+			return fail(err)
+		}
+		phases.mark("attrib")
 	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
 	return 0
@@ -495,6 +512,41 @@ func runCluster(suite *experiments.Suite, scenario, qosName, chipsSpec, policySp
 			return err
 		}
 		fmt.Printf("cluster: %s (%d bytes)\n", clusterOut, len(j))
+	}
+	return nil
+}
+
+// runAttrib executes the SLA attribution run and prints the root-cause
+// breakdown plus utilization tables.
+func runAttrib(suite *experiments.Suite, scenario string, rate, batchWindow float64,
+	maxBatch int, attribOut string, requests int, seed int64) error {
+	sc, err := scenarioByName(scenario)
+	if err != nil {
+		return err
+	}
+	o := experiments.DefaultAttribOptions()
+	o.Scenario = sc
+	o.Opt.Requests, o.Opt.Seed = requests, seed
+	if rate > 0 {
+		o.QPS = rate
+	}
+	if batchWindow > 0 {
+		o.BatchWindow, o.MaxBatch = batchWindow, maxBatch
+	}
+	rows, err := suite.AttribRun(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAttrib(o, rows))
+	if attribOut != "" {
+		j, err := experiments.AttribJSON(o, rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(attribOut, j, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("attrib: %s (%d bytes)\n", attribOut, len(j))
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+
+	"planaria/internal/obs"
+	"planaria/internal/simtime"
+	"planaria/internal/workload"
+)
+
+// Attribution joins the two halves of each request's phase timeline
+// (DESIGN.md §14): the front-door ledger covers [arrival, dispatch]
+// (admit-wait, batch-wait), and for dispatched requests the linked chip
+// ledger continues bit-exactly from the same instant through the chip's
+// phases (queue-wait, compute, preempt-stall, retry-backoff,
+// fault-stall) to the terminal event. Batch members share one chip
+// record, so each member's chip-side phases are the batch's.
+type Attribution struct {
+	// Front is the front-door ledger, indexed like the input stream.
+	// Every record is closed: shed/rejected requests terminally, and
+	// dispatched requests with CauseDispatched.
+	Front *obs.Ledger
+	// Chip[i] is the chip that served request i (-1 if never
+	// dispatched); Pos[i] is the record position within that chip's
+	// ledger.
+	Chip []int32
+	Pos  []int32
+}
+
+// ChipLedger returns the chip-side ledger record address for request i,
+// or ok=false when the request never reached a chip.
+func (a *Attribution) ChipLedger(o *Outcome, i int) (led *obs.Ledger, pos int, ok bool) {
+	if a == nil || i < 0 || i >= len(a.Chip) || a.Chip[i] < 0 {
+		return nil, 0, false
+	}
+	cr := o.PerChip[a.Chip[i]]
+	if cr == nil || cr.Attrib == nil {
+		return nil, 0, false
+	}
+	return cr.Attrib, int(a.Pos[i]), true
+}
+
+// Durations accumulates request i's full per-phase timeline (front +
+// chip halves) into dur and returns its terminal cause. ok is false when
+// attribution was off or the record is somehow still open.
+func (a *Attribution) Durations(o *Outcome, i int, dur *[obs.NumPhases]float64) (obs.Cause, bool) {
+	if a == nil || !a.Front.Durations(i, dur) {
+		return obs.CauseOpen, false
+	}
+	cause := a.Front.Cause(i)
+	if cause != obs.CauseDispatched {
+		return cause, true
+	}
+	led, pos, ok := a.ChipLedger(o, i)
+	if !ok || !led.Durations(pos, dur) {
+		return obs.CauseOpen, false
+	}
+	return led.Cause(pos), true
+}
+
+// AttribReport folds the run's attribution into the per-model × per-QoS
+// violation breakdown plus the fleet utilization table. reqs must be the
+// same slice Run served. Returns an error when the run was executed
+// without Config.Attrib.
+func (o *Outcome) AttribReport(reqs []workload.Request) (*obs.AttribReport, error) {
+	a := o.Attrib
+	if a == nil {
+		return nil, fmt.Errorf("cluster: run executed without Config.Attrib")
+	}
+	if len(reqs) != len(o.Finishes) {
+		return nil, fmt.Errorf("cluster: %d requests for %d outcome slots", len(reqs), len(o.Finishes))
+	}
+	b := obs.NewAttribBuilder()
+	for i := range reqs {
+		var dur [obs.NumPhases]float64
+		cause, ok := a.Durations(o, i, &dur)
+		if !ok {
+			return nil, fmt.Errorf("cluster: request %d has no closed attribution record", i)
+		}
+		fin := o.Finishes[i]
+		violated := fin < 0 || simtime.After(fin, reqs[i].Deadline)
+		b.Add(reqs[i].Model, reqs[i].Level, &dur, cause, violated)
+	}
+	occs := make([]*obs.Occupancy, 0, len(o.PerChip))
+	for _, cr := range o.PerChip {
+		if cr != nil && cr.Occ != nil {
+			occs = append(occs, cr.Occ)
+		}
+	}
+	return b.Report(occs), nil
+}

@@ -91,6 +91,12 @@ type Config struct {
 	// ChipTraces attaches a sim.Trace to every chip node (exposed on
 	// ChipResult.Trace).
 	ChipTraces bool
+	// Attrib enables SLA root-cause attribution (DESIGN.md §14): a
+	// front-door phase ledger over the input stream, a per-chip ledger
+	// and occupancy accountant on every node, and the chip/position
+	// links joining them, exposed on Outcome.Attrib. Off by default;
+	// the stamp sites cost only untaken branches when disabled.
+	Attrib bool
 }
 
 // validate checks the configuration against the request stream.
@@ -128,6 +134,12 @@ type ChipResult struct {
 	Trace *sim.Trace
 	// Obs is the chip's private observer (nil unless Config.Observe).
 	Obs *obs.Observer
+	// Attrib is the chip's phase ledger, indexed like Requests (nil
+	// unless Config.Attrib).
+	Attrib *obs.Ledger
+	// Occ is the chip's subarray-cycle occupancy accountant (nil unless
+	// Config.Attrib).
+	Occ *obs.Occupancy
 }
 
 // Outcome aggregates one cluster run over the original request stream.
@@ -177,6 +189,10 @@ type Outcome struct {
 
 	// PerChip holds each chip's share.
 	PerChip []*ChipResult
+
+	// Attrib joins the front-door ledger with the per-chip ledgers (nil
+	// unless Config.Attrib). See Outcome.AttribReport.
+	Attrib *Attribution
 }
 
 // workOf returns a request's work multiplier (0 means 1).
@@ -433,6 +449,21 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		Dispatched: make([]int, cfg.Chips),
 		PerChip:    make([]*ChipResult, cfg.Chips),
 	}
+	// Attribution wiring (DESIGN.md §14): a front-door ledger indexed
+	// like the input plus the chip/position links resolved at dispatch.
+	// All stamp sites below guard on the obs-typed frontLed, so the
+	// default (Attrib off) path pays only untaken branches.
+	var frontLed *obs.Ledger
+	var linkChip, linkPos []int32
+	if cfg.Attrib {
+		frontLed = obs.NewLedger(len(reqs))
+		linkChip = make([]int32, len(reqs))
+		linkPos = make([]int32, len(reqs))
+		for i := range linkChip {
+			linkChip[i] = -1
+			linkPos[i] = -1
+		}
+	}
 	// One pass over the input stream extracts everything the later stages
 	// need from it: the identity-ID fast path (ID == input index, what
 	// workload.Generate emits, is trivially unique and skips the map),
@@ -538,6 +569,9 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			record(sim.Event{Time: r.Arrival, Kind: sim.EvArrival, Task: r.ID, Model: r.Model})
 		}
 		cRequests.Inc()
+		if frontLed != nil {
+			frontLed.Open(idx, r.Arrival, obs.PhaseAdmitWait)
+		}
 		// With no admission control configured (admission == nil) the
 		// answer is always (arrival, true); hoisting the nil check here
 		// saves a non-inlined method call per request.
@@ -551,7 +585,15 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			}
 			cAdmShed.Inc()
 			out.ShedFront++
+			if frontLed != nil {
+				frontLed.Close(idx, r.Arrival, obs.CauseShedAdmission)
+			}
 			return
+		}
+		if frontLed != nil {
+			// Admission grant: [arrival, at] was admit-wait, [at, dispatch]
+			// is batch-wait (zero-length when batching is off).
+			frontLed.Mark(idx, at, obs.PhaseBatchWait)
 		}
 		admits = append(admits, admitted{at: at, idx: int32(idx), model: int32(internModel(r.Model))})
 	}
@@ -690,6 +732,9 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 				}
 				cUnroutable.Inc()
 				out.ShedFront++
+				if frontLed != nil {
+					frontLed.Close(m, tD, obs.CauseShedUnroutable)
+				}
 			}
 			return
 		}
@@ -706,6 +751,16 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		membersTotal += k
 		if k > 1 {
 			out.BatchedReqs += k
+		}
+		if frontLed != nil {
+			// Hand-off: each member's front record closes at the merged
+			// arrival `at` (== the chip record's Open instant, bit-exact),
+			// and the links remember which chip record continues it.
+			for _, m := range members {
+				frontLed.Close(m, at, obs.CauseDispatched)
+				linkChip[m] = int32(chip)
+				linkPos[m] = int32(chipCounts[chip])
+			}
 		}
 		dispatches = append(dispatches, dispatchRec{
 			chip: chip, pos: chipCounts[chip], members: members,
@@ -861,12 +916,19 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		if cfg.Observe {
 			cr.Obs = obs.New()
 		}
+		if cfg.Attrib {
+			cr.Attrib = obs.NewLedger(len(perChip[i]))
+			cr.Occ = obs.NewOccupancy(int64(totalSub))
+		}
 		if len(perChip[i]) == 0 {
 			return
 		}
 		pol := cfg.System.NewPolicy()
 		if ob, ok := pol.(obs.Observable); ok && cr.Obs != nil {
 			ob.SetObserver(cr.Obs)
+		}
+		if oa, ok := pol.(obs.OccupancyAware); ok && cr.Occ != nil {
+			oa.SetOccupancy(cr.Occ)
 		}
 		//perf:alloc-ok one simulated node per chip per run
 		node := &sim.Node{
@@ -876,6 +938,8 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			Params:    cfg.System.Params,
 			Trace:     cr.Trace,
 			Obs:       cr.Obs,
+			Attrib:    cr.Attrib,
+			Occ:       cr.Occ,
 			FaultMode: cfg.FaultMode,
 			Shed:      cfg.Shed,
 		}
@@ -891,6 +955,10 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		return nil, err
 	}
 	out.PerChip = results
+	if frontLed != nil {
+		//perf:alloc-ok one attribution bundle per run, only when Attrib is on
+		out.Attrib = &Attribution{Front: frontLed, Chip: linkChip, Pos: linkPos}
+	}
 
 	// Stage 5: merge chip outcomes back onto the original stream. The
 	// latency histogram handles are interned per model up front —

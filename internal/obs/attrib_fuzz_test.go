@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// FuzzAttribReportJSON round-trips the BENCH_attrib.json report schema:
+// any bytes LoadAttribReport accepts must re-encode and re-load to the
+// same canonical JSON, so two decode/encode hops converge — the property
+// the CI byte-identity gate and downstream tooling rely on. Inputs the
+// loader rejects must be rejected without panicking.
+func FuzzAttribReportJSON(f *testing.F) {
+	f.Add([]byte(`{"groups":[]}`))
+	f.Add([]byte(`{"groups":[{"model":"ResNet-50","level":"QoS-H","requests":2,` +
+		`"completed":1,"violations":1,` +
+		`"dominant":[{"cause":"shed-chip","count":1}],` +
+		`"phases":[{"phase":"compute","count":2,"sum_s":0.5,"mean_s":0.25,"p50_s":0.25,"p99_s":0.3}]}],` +
+		`"chips":[{"chip":0,"units":16,"horizon_cycles":100,"busy_cycles":40,` +
+		`"idle_cycles":58,"faulted_cycles":1,"reconfig_cycles":1,"utilization":0.025,"pressure":0.5}],` +
+		`"fleet":{"chip":-1,"units":16,"horizon_cycles":100,"busy_cycles":40,` +
+		`"idle_cycles":58,"faulted_cycles":1,"reconfig_cycles":1,"utilization":0.025,"pressure":0.5}}`))
+	f.Add([]byte(`{"groups":[{"model":"m","level":"q","requests":1,"completed":0,` +
+		`"violations":1,"phases":[]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"groups":[{"phases":[{"sum_s":1e308}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := LoadAttribReport(data)
+		if err != nil {
+			return // rejection without panic is the contract
+		}
+		j1, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("accepted report failed to encode: %v", err)
+		}
+		rep2, err := LoadAttribReport(j1)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, j1)
+		}
+		j2, err := rep2.JSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(j1) != string(j2) {
+			t.Fatalf("round trip not a fixed point:\n%s\n---\n%s", j1, j2)
+		}
+		// Text rendering of anything the loader accepts must not panic.
+		_ = rep.Text()
+	})
+}

@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Attribution aggregation (DESIGN.md §14): the builder folds per-request
+// phase-duration vectors and terminal causes into per-model × per-QoS
+// groups, computes dominant-cause histograms and per-phase p50/p99, and
+// joins the result with per-chip occupancy accounting into one
+// AttribReport with deterministic JSON and Table renderings.
+
+// PhaseStat summarizes one phase across every request in a group.
+type PhaseStat struct {
+	Phase string  `json:"phase"`
+	Count int64   `json:"count"` // requests with >0 time in this phase
+	Sum   float64 `json:"sum_s"`
+	Mean  float64 `json:"mean_s"` // over all requests in the group
+	P50   float64 `json:"p50_s"`
+	P99   float64 `json:"p99_s"`
+}
+
+// CauseCount is one bar of a group's dominant-cause histogram.
+type CauseCount struct {
+	Cause string `json:"cause"`
+	Count int64  `json:"count"`
+}
+
+// AttribGroup is the per-model × per-QoS attribution breakdown.
+type AttribGroup struct {
+	Model    string `json:"model"`
+	Level    string `json:"level"`
+	Requests int64  `json:"requests"`
+	// Completed counts requests that finished (cause done); the rest
+	// were shed or rejected.
+	Completed int64 `json:"completed"`
+	// Violations counts SLA misses: every non-completed request plus
+	// completed requests that finished after their deadline.
+	Violations int64 `json:"violations"`
+	// Dominant is the violation histogram by dominant cause: for
+	// requests that never completed, the terminal cause; for late
+	// completions, the phase that consumed the most time (ties break to
+	// the earlier phase in pipeline order).
+	Dominant []CauseCount `json:"dominant,omitempty"`
+	Phases   []PhaseStat  `json:"phases"`
+}
+
+// UtilRow is one chip's (or the fleet's) occupancy split in unit-cycles.
+type UtilRow struct {
+	Chip        int     `json:"chip"` // -1 for the fleet rollup
+	Units       int64   `json:"units"`
+	Horizon     int64   `json:"horizon_cycles"`
+	Busy        int64   `json:"busy_cycles"`
+	Idle        int64   `json:"idle_cycles"`
+	Faulted     int64   `json:"faulted_cycles"`
+	Reconfig    int64   `json:"reconfig_cycles"`
+	Utilization float64 `json:"utilization"`
+	Pressure    float64 `json:"pressure"`
+}
+
+// AttribReport is the full attribution artifact: violation breakdowns
+// per model × QoS level plus the fleet utilization table.
+type AttribReport struct {
+	Groups []AttribGroup `json:"groups"`
+	Chips  []UtilRow     `json:"chips,omitempty"`
+	Fleet  *UtilRow      `json:"fleet,omitempty"`
+}
+
+// attribAgg accumulates one group's samples before summarization.
+type attribAgg struct {
+	model, level string
+	requests     int64
+	completed    int64
+	violations   int64
+	domPhase     [NumPhases]int64
+	domCause     [NumCauses]int64
+	samples      [NumPhases][]float64
+}
+
+// AttribBuilder folds per-request attribution rows into groups. Groups
+// are interned on first sight and sorted at Report time, so insertion
+// order never leaks into the artifact.
+type AttribBuilder struct {
+	groups []*attribAgg
+	index  map[string]int
+}
+
+// NewAttribBuilder returns an empty builder.
+func NewAttribBuilder() *AttribBuilder {
+	return &AttribBuilder{index: make(map[string]int)}
+}
+
+func (b *AttribBuilder) group(model, level string) *attribAgg {
+	key := model + "\x00" + level
+	if i, ok := b.index[key]; ok {
+		return b.groups[i]
+	}
+	g := &attribAgg{model: model, level: level}
+	b.index[key] = len(b.groups)
+	b.groups = append(b.groups, g)
+	return g
+}
+
+// Add folds one request into its model × level group. dur is the
+// request's per-phase duration vector; cause its terminal cause;
+// violated whether it missed its SLA (always true for non-completed
+// requests).
+func (b *AttribBuilder) Add(model, level string, dur *[NumPhases]float64, cause Cause, violated bool) {
+	g := b.group(model, level)
+	g.requests++
+	completed := cause == CauseDone
+	if completed {
+		g.completed++
+	}
+	if !completed {
+		violated = true
+	}
+	for p := 0; p < NumPhases; p++ {
+		g.samples[p] = append(g.samples[p], dur[p])
+	}
+	if !violated {
+		return
+	}
+	g.violations++
+	if !completed {
+		g.domCause[cause]++
+		return
+	}
+	// Dominant phase: argmax duration, earlier phase wins ties.
+	best := 0
+	for p := 1; p < NumPhases; p++ {
+		if dur[p] > dur[best] {
+			best = p
+		}
+	}
+	g.domPhase[best]++
+}
+
+// quantile returns the nearest-rank q-quantile (0 < q <= 1) of sorted
+// non-empty samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// utilRow converts one accountant into a report row.
+func utilRow(chip int, o *Occupancy) UtilRow {
+	return UtilRow{
+		Chip:        chip,
+		Units:       o.Units,
+		Horizon:     o.Horizon,
+		Busy:        o.Busy,
+		Idle:        o.Idle,
+		Faulted:     o.Faulted,
+		Reconfig:    o.Reconfig,
+		Utilization: o.Utilization(),
+		Pressure:    o.Pressure(),
+	}
+}
+
+// Report summarizes the folded groups, joined with per-chip occupancy
+// accountants (may be empty). The accountants are copied and padded to a
+// common horizon before the fleet rollup, so callers' values are not
+// mutated. Output ordering is fully deterministic: groups sort by
+// (model, level), phases and causes render in enum order.
+func (b *AttribBuilder) Report(occs []*Occupancy) *AttribReport {
+	r := &AttribReport{}
+	sort.Slice(b.groups, func(i, j int) bool {
+		gi, gj := b.groups[i], b.groups[j]
+		if gi.model != gj.model {
+			return gi.model < gj.model
+		}
+		return gi.level < gj.level
+	})
+	// Re-key the index after sorting so the builder stays usable.
+	for i, g := range b.groups {
+		b.index[g.model+"\x00"+g.level] = i
+	}
+	for _, g := range b.groups {
+		out := AttribGroup{
+			Model:      g.model,
+			Level:      g.level,
+			Requests:   g.requests,
+			Completed:  g.completed,
+			Violations: g.violations,
+		}
+		for p := 0; p < NumPhases; p++ {
+			if g.domPhase[p] > 0 {
+				out.Dominant = append(out.Dominant, CauseCount{Cause: Phase(p).String(), Count: g.domPhase[p]})
+			}
+		}
+		for c := 0; c < NumCauses; c++ {
+			if g.domCause[c] > 0 {
+				out.Dominant = append(out.Dominant, CauseCount{Cause: Cause(c).String(), Count: g.domCause[c]})
+			}
+		}
+		for p := 0; p < NumPhases; p++ {
+			samples := g.samples[p]
+			var sum float64
+			count := int64(0)
+			for _, v := range samples {
+				sum += v
+				if v > 0 {
+					count++
+				}
+			}
+			sorted := make([]float64, len(samples))
+			copy(sorted, samples)
+			sort.Float64s(sorted)
+			ps := PhaseStat{
+				Phase: Phase(p).String(),
+				Count: count,
+				Sum:   sum,
+				P50:   quantile(sorted, 0.50),
+				P99:   quantile(sorted, 0.99),
+			}
+			if len(samples) > 0 {
+				ps.Mean = sum / float64(len(samples))
+			}
+			out.Phases = append(out.Phases, ps)
+		}
+		r.Groups = append(r.Groups, out)
+	}
+	if len(occs) > 0 {
+		var h int64
+		for _, o := range occs {
+			if o != nil && o.Horizon > h {
+				h = o.Horizon
+			}
+		}
+		fleet := &Occupancy{}
+		for i, o := range occs {
+			if o == nil {
+				continue
+			}
+			padded := *o
+			padded.PadTo(h)
+			r.Chips = append(r.Chips, utilRow(i, &padded))
+			fleet.Merge(&padded)
+		}
+		fr := utilRow(-1, fleet)
+		r.Fleet = &fr
+	}
+	return r
+}
+
+// JSON encodes the report deterministically (stable field order, sorted
+// groups, trailing newline).
+func (r *AttribReport) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadAttribReport decodes a report previously encoded with JSON.
+func LoadAttribReport(data []byte) (*AttribReport, error) {
+	r := &AttribReport{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Text renders the report with the shared Table renderer: one breakdown
+// table (per group × phase) with the dominant-cause histogram inline,
+// then the fleet utilization table.
+func (r *AttribReport) Text() string {
+	var buf bytes.Buffer
+	t := NewTable("model", "qos", "reqs", "done", "viol", "phase", "count", "sum(s)", "mean(s)", "p50(s)", "p99(s)").AlignLeft(1, 5)
+	for _, g := range r.Groups {
+		first := true
+		for _, ps := range g.Phases {
+			if ps.Count == 0 && ps.Sum == 0 {
+				continue
+			}
+			head := []string{"", "", "", "", ""}
+			if first {
+				head = []string{
+					g.Model, g.Level,
+					fmt.Sprintf("%d", g.Requests),
+					fmt.Sprintf("%d", g.Completed),
+					fmt.Sprintf("%d", g.Violations),
+				}
+				first = false
+			}
+			t.Row(append(head,
+				ps.Phase,
+				fmt.Sprintf("%d", ps.Count),
+				fmt.Sprintf("%.6f", ps.Sum),
+				fmt.Sprintf("%.6f", ps.Mean),
+				fmt.Sprintf("%.6f", ps.P50),
+				fmt.Sprintf("%.6f", ps.P99),
+			)...)
+		}
+		if first {
+			// No phase saw any time; still show the group line.
+			t.Row(g.Model, g.Level,
+				fmt.Sprintf("%d", g.Requests),
+				fmt.Sprintf("%d", g.Completed),
+				fmt.Sprintf("%d", g.Violations))
+		}
+	}
+	buf.WriteString(t.String())
+	wroteDom := false
+	for _, g := range r.Groups {
+		for _, d := range g.Dominant {
+			if !wroteDom {
+				buf.WriteString("\ndominant causes of SLA violations:\n")
+				wroteDom = true
+			}
+			fmt.Fprintf(&buf, "  %s %s: %s ×%d\n", g.Model, g.Level, d.Cause, d.Count)
+		}
+	}
+	if len(r.Chips) > 0 || r.Fleet != nil {
+		buf.WriteString("\n")
+		ut := NewTable("chip", "units", "horizon", "busy", "idle", "faulted", "reconfig", "util", "pressure")
+		row := func(u *UtilRow, name string) {
+			ut.Row(name,
+				fmt.Sprintf("%d", u.Units),
+				fmt.Sprintf("%d", u.Horizon),
+				fmt.Sprintf("%d", u.Busy),
+				fmt.Sprintf("%d", u.Idle),
+				fmt.Sprintf("%d", u.Faulted),
+				fmt.Sprintf("%d", u.Reconfig),
+				fmt.Sprintf("%.4f", u.Utilization),
+				fmt.Sprintf("%.4f", u.Pressure),
+			)
+		}
+		for i := range r.Chips {
+			row(&r.Chips[i], fmt.Sprintf("chip%d", r.Chips[i].Chip))
+		}
+		if r.Fleet != nil {
+			row(r.Fleet, "fleet")
+		}
+		buf.WriteString(ut.String())
+	}
+	return buf.String()
+}

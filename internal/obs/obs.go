@@ -13,6 +13,16 @@
 // cheap no-ops, so the simulators carry their probes unconditionally and
 // pay only an untaken branch when observability is off (verified by
 // BenchmarkGridRun staying within 2% of the uninstrumented engine).
+//
+// The Registry is append-only by contract: series are never removed or
+// reset in place, handles stay valid for the registry's lifetime, and
+// each Snapshot's series set only grows — see the Registry doc comment.
+//
+// The package also hosts the SLA root-cause attribution layer
+// (DESIGN.md §14): the per-request phase Ledger and the Occupancy
+// accountant (attrib.go, occupancy.go), with AttribBuilder/AttribReport
+// (attribreport.go) folding both into deterministic per-model × per-QoS
+// violation breakdowns and fleet utilization tables.
 package obs
 
 // Observer bundles the two observability sinks an instrumented component

@@ -64,6 +64,16 @@ type regCore struct {
 // Registry is a deterministic metrics registry. The zero value is not
 // usable; construct with NewRegistry. All methods are safe on a nil
 // receiver (no-ops) and for concurrent use.
+//
+// The registry is append-only by contract: there is deliberately no
+// Remove or per-series reset. A series, once registered, lives as long
+// as the registry, its handles stay valid forever, re-registering the
+// same (name, label set) returns the same storage, and every Snapshot's
+// series set is a superset of every earlier one. This is what makes
+// cached handles safe to hold across runs and snapshot encodings
+// byte-stable as instrumentation accumulates; a run that wants a clean
+// slate constructs a fresh registry (they are one map allocation).
+// registry_test.go asserts this contract.
 type Registry struct {
 	core *regCore
 	base []Label // labels every series of this view carries
@@ -286,11 +296,37 @@ type SeriesSnapshot struct {
 	Value float64 `json:"value,omitempty"`
 
 	// Histogram state: Bounds[i] is the inclusive upper bound of
-	// Buckets[i]; the final bucket is unbounded.
+	// Buckets[i]; the final bucket is unbounded. Count and Sum are
+	// always present in the JSON encoding for histograms (even at zero
+	// samples), so means are derivable from an artifact without
+	// re-running — see MarshalJSON.
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []uint64  `json:"buckets,omitempty"`
 	Count   uint64    `json:"count,omitempty"`
 	Sum     float64   `json:"sum,omitempty"`
+}
+
+// MarshalJSON emits histogram series with unconditional count/sum
+// fields (a zero-sample histogram still reports count 0, sum 0), while
+// counters and gauges keep the compact value-only form.
+func (s SeriesSnapshot) MarshalJSON() ([]byte, error) {
+	if s.Kind == "histogram" {
+		return json.Marshal(struct {
+			Name    string    `json:"name"`
+			Labels  []Label   `json:"labels,omitempty"`
+			Kind    string    `json:"kind"`
+			Bounds  []float64 `json:"bounds,omitempty"`
+			Buckets []uint64  `json:"buckets,omitempty"`
+			Count   uint64    `json:"count"`
+			Sum     float64   `json:"sum"`
+		}{s.Name, s.Labels, s.Kind, s.Bounds, s.Buckets, s.Count, s.Sum})
+	}
+	return json.Marshal(struct {
+		Name   string  `json:"name"`
+		Labels []Label `json:"labels,omitempty"`
+		Kind   string  `json:"kind"`
+		Value  float64 `json:"value,omitempty"`
+	}{s.Name, s.Labels, s.Kind, s.Value})
 }
 
 // Snapshot is the frozen state of a whole registry, sorted by series id.
@@ -354,16 +390,21 @@ func labelString(labels []Label) string {
 // Text renders the snapshot as an aligned table — the same renderer the
 // latency tables use (see metrics.FormatLatencyTable).
 func (s Snapshot) Text() string {
-	t := NewTable("metric", "labels", "kind", "value", "count", "sum")
+	t := NewTable("metric", "labels", "kind", "value", "count", "sum", "mean")
 	for _, m := range s.Series {
 		switch m.Kind {
 		case "histogram":
+			mean := "-"
+			if m.Count > 0 {
+				mean = strconv.FormatFloat(m.Sum/float64(m.Count), 'g', 6, 64)
+			}
 			t.Row(m.Name, labelString(m.Labels), m.Kind, "-",
 				strconv.FormatUint(m.Count, 10),
-				strconv.FormatFloat(m.Sum, 'g', 6, 64))
+				strconv.FormatFloat(m.Sum, 'g', 6, 64),
+				mean)
 		default:
 			t.Row(m.Name, labelString(m.Labels), m.Kind,
-				strconv.FormatFloat(m.Value, 'g', 6, 64), "-", "-")
+				strconv.FormatFloat(m.Value, 'g', 6, 64), "-", "-", "-")
 		}
 	}
 	return t.String()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -130,6 +131,112 @@ func TestSnapshotEncodingsDeterministic(t *testing.T) {
 	idx := func(s string) int { return strings.Index(t1, s) }
 	if !(idx("a_total") < idx("g") && idx("g") < idx("h") && idx("h") < idx("z_total")) {
 		t.Fatalf("series not sorted:\n%s", t1)
+	}
+}
+
+// TestHistogramJSONAlwaysCarriesCountSum pins the artifact contract: a
+// histogram series exports "count" and "sum" unconditionally — even at
+// zero samples — so means are derivable from any snapshot without
+// re-running, while counters/gauges keep the compact value-only form.
+func TestHistogramJSONAlwaysCarriesCountSum(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_h", []float64{1, 2}) // registered, never observed
+	r.Histogram("warm_h", []float64{1, 2}).Observe(0.5)
+	r.Counter("c_total").Inc()
+	j, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Series []map[string]any `json:"series"`
+	}
+	if err := json.Unmarshal(j, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range doc.Series {
+		name := s["name"].(string)
+		_, hasCount := s["count"]
+		_, hasSum := s["sum"]
+		switch name {
+		case "empty_h", "warm_h":
+			if !hasCount || !hasSum {
+				t.Errorf("%s: histogram JSON missing count/sum: %v", name, s)
+			}
+		default:
+			if hasCount || hasSum {
+				t.Errorf("%s: non-histogram JSON grew count/sum: %v", name, s)
+			}
+		}
+	}
+	if c := byNameIn(t, doc.Series, "empty_h"); c["count"].(float64) != 0 || c["sum"].(float64) != 0 {
+		t.Errorf("zero-sample histogram count/sum: %v", c)
+	}
+	// The text rendering derives the mean in its own column.
+	text := r.Snapshot().Text()
+	if !strings.Contains(text, "mean") {
+		t.Fatalf("text snapshot lost the mean column:\n%s", text)
+	}
+}
+
+func byNameIn(t *testing.T, series []map[string]any, name string) map[string]any {
+	t.Helper()
+	for _, s := range series {
+		if s["name"] == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing", name)
+	return nil
+}
+
+// TestRegistryAppendOnlyContract asserts the documented append-only
+// contract (see the Registry doc comment): no removal, handles valid
+// forever, re-registration returns the same storage, and each Snapshot's
+// series set is a superset of every earlier one.
+func TestRegistryAppendOnlyContract(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", L("chip", "0"))
+	c1.Inc()
+	seen := map[string]bool{}
+	for _, s := range r.Snapshot().Series {
+		seen[s.Name] = true
+	}
+
+	// Re-registering the same (name, label set) must return the same
+	// storage — increments through either handle land in one series.
+	c2 := r.Counter("reqs_total", L("chip", "0"))
+	c2.Inc()
+	snap := r.Snapshot()
+	if len(snap.Series) != 1 || snap.Series[0].Value != 2 {
+		t.Fatalf("re-registration split or reset the series: %+v", snap.Series)
+	}
+
+	// Registering more series only grows the set; everything previously
+	// snapshotted is still there with its value intact.
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	snap = r.Snapshot()
+	if len(snap.Series) != 3 {
+		t.Fatalf("series set = %d, want 3", len(snap.Series))
+	}
+	for name := range seen {
+		found := false
+		for _, s := range snap.Series {
+			if s.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("earlier series %q vanished from a later snapshot", name)
+		}
+	}
+
+	// The old handle stays valid after arbitrary later registrations.
+	c1.Inc()
+	for _, s := range r.Snapshot().Series {
+		if s.Name == "reqs_total" && s.Value != 3 {
+			t.Fatalf("stale handle: value = %g, want 3", s.Value)
+		}
 	}
 }
 

@@ -37,6 +37,10 @@ type Spatial struct {
 	cFit       *obs.Counter
 	cUnfit     *obs.Counter
 	tracer     *obs.TraceBuilder
+	// occ receives per-decision demand/supply accounting for the fleet
+	// utilization report (DESIGN.md §14). Nil-safe, integer-only — the
+	// NoteDecision calls below stay on the zero-alloc hot path.
+	occ *obs.Occupancy
 
 	// cps caches Cfg.CyclesPerSecond(): predictTime runs for every task
 	// at every scheduling event, and calling a value-receiver Config
@@ -120,6 +124,12 @@ func (s *Spatial) SetObserver(o *obs.Observer) {
 	s.cUnfit = reg.Counter("sched_unfit_total")
 	s.tracer = o.Tracer()
 }
+
+// SetOccupancy implements obs.OccupancyAware: every fission decision
+// reports its fit/unfit outcome and demand-vs-supply unit counts to the
+// occupancy accountant, the demand-pressure side of the fleet
+// utilization report.
+func (s *Spatial) SetOccupancy(o *obs.Occupancy) { s.occ = o }
 
 // Quantum implements sim.Policy: the spatial scheduler is purely
 // event-driven (invoked on arrivals and completions), per §V.
@@ -214,6 +224,7 @@ func (s *Spatial) AllocateInto(now float64, tasks []*sim.Task, total int, dst []
 		e := s.EstimateResources(t, now, total)
 		s.cDecisions.Inc()
 		s.cFit.Inc()
+		s.occ.NoteDecision(true, int64(e), int64(total))
 		if s.tracer != nil {
 			s.tracer.Instant("sched", fmt.Sprintf("fission: fit %d tasks", 1), now,
 				obs.Num("tasks", 1),
@@ -239,6 +250,7 @@ func (s *Spatial) AllocateInto(now float64, tasks []*sim.Task, total int, dst []
 	s.cDecisions.Inc()
 	if sum <= total {
 		s.cFit.Inc()
+		s.occ.NoteDecision(true, int64(sum), int64(total))
 		if s.tracer != nil {
 			s.tracer.Instant("sched", fmt.Sprintf("fission: fit %d tasks", len(tasks)), now,
 				obs.Num("tasks", float64(len(tasks))),
@@ -249,6 +261,7 @@ func (s *Spatial) AllocateInto(now float64, tasks []*sim.Task, total int, dst []
 		return
 	}
 	s.cUnfit.Inc()
+	s.occ.NoteDecision(false, int64(sum), int64(total))
 	if s.tracer != nil {
 		s.tracer.Instant("sched", fmt.Sprintf("fission: unfit %d tasks", len(tasks)), now,
 			obs.Num("tasks", float64(len(tasks))),

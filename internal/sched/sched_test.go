@@ -6,6 +6,7 @@ import (
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/dnn"
+	"planaria/internal/obs"
 	"planaria/internal/sim"
 	"planaria/internal/workload"
 )
@@ -160,4 +161,44 @@ func TestUnfitTopUpUsesWholeChip(t *testing.T) {
 	if sum != 16 {
 		t.Fatalf("unfit allocation uses %d of 16", sum)
 	}
+}
+
+// TestSpatialOccupancyFeed pins the fission-decision feed into the
+// utilization accountant: every AllocateInto records one decision with
+// the demanded and supplied subarray counts, fit or unfit.
+func TestSpatialOccupancyFeed(t *testing.T) {
+	cfg := arch.Planaria()
+	p := toyProg(t, cfg)
+	s := NewSpatial(cfg)
+	occ := obs.NewOccupancy(16)
+	s.SetOccupancy(occ)
+
+	dst := make([]int, 1)
+	// One loose task: fits with demand 1 of 16.
+	s.AllocateInto(0, []*sim.Task{mkTask(t, 0, p, 10.0, 5)}, 16, dst)
+	if occ.Decisions != 1 || occ.FitDecisions != 1 {
+		t.Fatalf("after fit: %+v", occ)
+	}
+	if occ.SupplyUnits != 16 || occ.DemandUnits < 1 {
+		t.Fatalf("fit demand/supply: %+v", occ)
+	}
+
+	// Many impossible-deadline tasks: demand exceeds supply, unfit.
+	tasks := []*sim.Task{
+		mkTask(t, 1, p, 1e-9, 5),
+		mkTask(t, 2, p, 1e-9, 5),
+		mkTask(t, 3, p, 1e-9, 5),
+	}
+	dst = make([]int, len(tasks))
+	s.AllocateInto(0, tasks, 16, dst)
+	if occ.Decisions != 2 || occ.FitDecisions != 1 {
+		t.Fatalf("after unfit: %+v", occ)
+	}
+	if occ.Pressure() <= 1 {
+		t.Fatalf("over-demand pressure = %g, want > 1", occ.Pressure())
+	}
+
+	// A nil accountant must be inert (the default wiring).
+	s2 := NewSpatial(cfg)
+	s2.AllocateInto(0, []*sim.Task{mkTask(t, 4, p, 10.0, 5)}, 16, make([]int, 1))
 }

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/big"
+	"testing"
+
+	"planaria/internal/fault"
+	"planaria/internal/obs"
+	"planaria/internal/workload"
+)
+
+// checkNodeAttrib asserts the node-level attribution invariants over one
+// run: every record closed, span sums telescoping bit-exactly to
+// end−start (big.Float over shared instants), completed records ending
+// precisely at their Finishes entry, and the occupancy partition holding.
+func checkNodeAttrib(t *testing.T, n *Node, reqs []workload.Request, out *Outcome) {
+	t.Helper()
+	led, occ := n.Attrib, n.Occ
+	for i := range reqs {
+		if !led.Closed(i) {
+			t.Fatalf("request %d: attribution record still open", i)
+		}
+		spans := led.Spans(i, nil)
+		if len(spans) == 0 {
+			t.Fatalf("request %d: no spans", i)
+		}
+		sum := new(big.Float).SetPrec(200)
+		for _, s := range spans {
+			sum.Add(sum, new(big.Float).SetPrec(200).Sub(big.NewFloat(s.To), big.NewFloat(s.From)))
+		}
+		want := new(big.Float).SetPrec(200).Sub(
+			big.NewFloat(spans[len(spans)-1].To), big.NewFloat(spans[0].From))
+		if sum.Cmp(want) != 0 {
+			t.Fatalf("request %d: Σ spans %s != end−start %s",
+				i, sum.Text('g', 25), want.Text('g', 25))
+		}
+		if fin := out.Finishes[i]; fin >= 0 {
+			if led.Cause(i) != obs.CauseDone {
+				t.Fatalf("request %d finished but cause = %v", i, led.Cause(i))
+			}
+			if got := spans[len(spans)-1].To; got != fin {
+				t.Fatalf("request %d: ledger end %x != finish %x", i, got, fin)
+			}
+		} else if led.Cause(i) == obs.CauseDone {
+			t.Fatalf("request %d: cause done without a finish", i)
+		}
+	}
+	if occ != nil {
+		if got := occ.Busy + occ.Idle + occ.Faulted + occ.Reconfig; got != occ.Units*occ.Horizon {
+			t.Fatalf("occupancy partition broke: %d != %d (%+v)", got, occ.Units*occ.Horizon, occ)
+		}
+	}
+}
+
+// TestNodeAttributionCompute covers the plain path: queue-wait then
+// compute, closed done, with the occupancy horizon spanning the run.
+func TestNodeAttributionCompute(t *testing.T) {
+	node, _ := testNode(t, fullPolicy{})
+	node.Attrib = obs.NewLedger(0)
+	node.Occ = obs.NewOccupancy(0)
+	reqs := []workload.Request{req(0, 0, 1, 5), req(1, 1e-5, 1, 7)}
+	out, err := node.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNodeAttrib(t, node, reqs, out)
+	var dur [obs.NumPhases]float64
+	node.Attrib.Durations(0, &dur)
+	if dur[obs.PhaseCompute] <= 0 {
+		t.Fatalf("no compute time attributed: %v", dur)
+	}
+	if node.Occ.Busy <= 0 || node.Occ.Horizon <= 0 {
+		t.Fatalf("no busy cycles accounted: %+v", node.Occ)
+	}
+}
+
+// TestNodeAttributionKillRetryAndShed covers the fault paths: a killed
+// task passes through retry-backoff and closes done after its retry; a
+// task with an exhausted retry budget closes shed-retries.
+func TestNodeAttributionKillRetryAndShed(t *testing.T) {
+	node, prog := testNode(t, fullPolicy{})
+	iso := node.Cfg.Seconds(prog.Table(16).TotalCycles)
+	in, err := fault.NewInjector(&fault.Schedule{Units: 16, Pods: 4,
+		Events: []fault.Event{{Time: iso / 2, Kind: fault.KindSubarray, Unit: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Faults = in
+	node.FaultMode = FaultFission
+	node.Attrib = obs.NewLedger(0)
+	node.Occ = obs.NewOccupancy(0)
+	reqs := []workload.Request{req(0, 0, 1, 5)}
+	out, err := node.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", out.Retries)
+	}
+	checkNodeAttrib(t, node, reqs, out)
+	var dur [obs.NumPhases]float64
+	node.Attrib.Durations(0, &dur)
+	if dur[obs.PhaseRetryBackoff] <= 0 {
+		t.Fatalf("killed-and-retried task has no retry-backoff time: %v", dur)
+	}
+
+	// Recurring transient strikes with a small retry budget and short
+	// backoff: the retried task keeps landing back in the line of fire
+	// until the budget exhausts into shed-retries.
+	node2, _ := testNode(t, fullPolicy{})
+	events := []fault.Event{}
+	for i := 0; i < 5; i++ {
+		events = append(events, fault.Event{
+			Time: iso / 4 * float64(i+1), Kind: fault.KindSubarray, Unit: i, Duration: iso / 16,
+		})
+	}
+	in2, err := fault.NewInjector(&fault.Schedule{Units: 16, Pods: 4, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2.Faults = in2
+	node2.FaultMode = FaultFission
+	node2.MaxAttempts = 2
+	node2.RetryBase = iso / 100
+	node2.RetryCap = iso / 50
+	node2.Attrib = obs.NewLedger(0)
+	node2.Occ = obs.NewOccupancy(0)
+	out2, err := node2.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNodeAttrib(t, node2, reqs, out2)
+	if node2.Attrib.Cause(0) != obs.CauseShedRetries {
+		t.Fatalf("budget-exhausted cause = %v, want shed-retries", node2.Attrib.Cause(0))
+	}
+}
+
+// TestNodeAttributionRejectAndDoomedShed covers the terminal admission
+// paths: unknown models close rejected with a zero-width record, and
+// ShedDoomed declines close shed-chip.
+func TestNodeAttributionRejectAndDoomedShed(t *testing.T) {
+	node, _ := testNode(t, fullPolicy{})
+	node.Shed = ShedDoomed
+	node.Attrib = obs.NewLedger(0)
+	node.Occ = obs.NewOccupancy(0)
+	reqs := []workload.Request{
+		req(0, 0, 1, 5),
+		{ID: 1, Model: "no-such-model", Domain: "classification",
+			Arrival: 1e-5, Priority: 5, QoS: 1, Deadline: 1e-5 + 1},
+		// Hopeless deadline: ShedDoomed declines at admission.
+		req(2, 2e-5, 1e-12, 5),
+	}
+	out, err := node.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNodeAttrib(t, node, reqs, out)
+	if node.Attrib.Cause(1) != obs.CauseRejected {
+		t.Fatalf("unknown-model cause = %v, want rejected", node.Attrib.Cause(1))
+	}
+	if node.Attrib.Cause(2) != obs.CauseShedChip {
+		t.Fatalf("doomed-request cause = %v, want shed-chip", node.Attrib.Cause(2))
+	}
+	if out.Shed != 1 || out.Rejected != 1 {
+		t.Fatalf("outcome shed/rejected = %d/%d, want 1/1", out.Shed, out.Rejected)
+	}
+}
+
+// TestNodeAttributionDeterministic pins that enabling attribution leaves
+// the simulated outcome bit-identical — the ledger observes, it never
+// perturbs.
+func TestNodeAttributionDeterministic(t *testing.T) {
+	reqs := []workload.Request{req(0, 0, 1, 5), req(1, 1e-5, 0.5, 7), req(2, 3e-5, 1, 3)}
+	run := func(attrib bool) *Outcome {
+		node, _ := testNode(t, fullPolicy{})
+		if attrib {
+			node.Attrib = obs.NewLedger(0)
+			node.Occ = obs.NewOccupancy(0)
+		}
+		out, err := node.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range reqs {
+		if a.Finishes[i] != b.Finishes[i] {
+			t.Fatalf("request %d: finish changed with attribution on: %x vs %x",
+				i, a.Finishes[i], b.Finishes[i])
+		}
+	}
+	if a.EnergyJ != b.EnergyJ {
+		t.Fatalf("energy changed with attribution on: %x vs %x", a.EnergyJ, b.EnergyJ)
+	}
+}

@@ -87,6 +87,17 @@ type Node struct {
 	// simulated time (request lifecycle spans, per-task allocation
 	// counters, queue occupancy). Nil costs only untaken branches.
 	Obs *obs.Observer
+	// Attrib, when non-nil, receives per-request phase-attribution
+	// stamps (DESIGN.md §14): queue-wait, compute, preempt-stall,
+	// retry-backoff, fault-stall boundaries plus the terminal cause,
+	// addressed by input-slice position. Run resizes it to len(reqs).
+	// Nil costs only untaken branches.
+	Attrib *obs.Ledger
+	// Occ, when non-nil, receives integer subarray-cycle occupancy
+	// accounting: every event interval's wall-cycles split into
+	// busy/reconfig/faulted/idle unit-cycles. Nil costs only untaken
+	// branches.
+	Occ *obs.Occupancy
 	// PenaltyScale multiplies every re-allocation penalty (tile drain,
 	// checkpoint DMA, configuration load). 0 = free preemption, 1 =
 	// default; used by the reconfiguration-cost sensitivity ablation.
@@ -292,6 +303,18 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		latHists = make(map[string]*obs.Histogram, len(n.Programs))
 		durBounds = obs.DurationBuckets()
 	}
+	// Attribution handles (DESIGN.md §14): nil ledger/accountant means
+	// every stamp below is an untaken branch. The ledger is resized to
+	// the input so stamps address records by the same positions the
+	// Outcome uses.
+	led := n.Attrib
+	occ := n.Occ
+	if led != nil {
+		led.Reset(len(reqs))
+	}
+	if occ != nil {
+		occ.SetUnits(int64(total))
+	}
 	// A typical request contributes arrival + alloc + finish plus a queue
 	// sample; reserving 4 events per request keeps steady-state tracing
 	// off the allocator (appends beyond the estimate still grow).
@@ -318,6 +341,19 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			r := &pending[nextPending]
 			srcPos := nextPending
 			nextPending++
+			// The request's position in the caller's slice: the ID itself
+			// for identity streams, the calendar position for aliased
+			// inputs, and an index lookup only on the cold copy-and-sort
+			// path. Needed by every branch below (the ledger addresses
+			// terminal records by position too, not just admits).
+			pos := r.ID
+			if !identityIDs {
+				if aliased {
+					pos = srcPos
+				} else {
+					pos = index[r.ID]
+				}
+			}
 			bind, ok := binds[r.Model]
 			if !ok {
 				if n.Strict {
@@ -332,6 +368,9 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				cRequests.Inc()
 				cRejects.Inc()
 				out.Rejected++
+				if led != nil {
+					led.Terminal(pos, r.Arrival, r.Arrival, obs.PhaseQueueWait, obs.CauseRejected)
+				}
 				continue
 			}
 			if tracing {
@@ -344,18 +383,10 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				}
 				cSheds.Inc()
 				out.Shed++
-				continue
-			}
-			// The task's position in the caller's slice: the ID itself for
-			// identity streams, the calendar position for aliased inputs,
-			// and an index lookup only on the cold copy-and-sort path.
-			pos := r.ID
-			if !identityIDs {
-				if aliased {
-					pos = srcPos
-				} else {
-					pos = index[r.ID]
+				if led != nil {
+					led.Terminal(pos, r.Arrival, now, obs.PhaseQueueWait, obs.CauseShedChip)
 				}
+				continue
 			}
 			t := &arena[usedArena]
 			usedArena++
@@ -373,6 +404,10 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			t.iso = bind.iso
 			t.pos = pos
 			t.Attempts = 0
+			if led != nil {
+				led.Open(pos, r.Arrival, obs.PhaseQueueWait)
+				t.phase = obs.PhaseQueueWait
+			}
 			tasks = append(tasks, t)
 		}
 		// Killed tasks whose backoff has elapsed rejoin the queue; a task
@@ -386,10 +421,17 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				cSheds.Inc()
 				out.Shed++
 				out.EnergyJ += e.t.EnergyJ
+				if led != nil {
+					led.Close(e.t.pos, now, obs.CauseShedRetries)
+				}
 				continue
 			}
 			if tracing {
 				n.Trace.record(Event{Time: now, Kind: EvRetry, Task: e.t.ID, Model: e.t.Req.Model, Attempt: e.t.Attempts})
+			}
+			if led != nil {
+				led.Mark(e.t.pos, now, obs.PhaseQueueWait)
+				e.t.phase = obs.PhaseQueueWait
 			}
 			tasks = append(tasks, e.t)
 		}
@@ -416,7 +458,14 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			cSheds.Inc()
 			out.Shed++
 			out.EnergyJ += t.EnergyJ
+			if led != nil {
+				led.Close(t.pos, now, obs.CauseShedRetries)
+			}
 			return
+		}
+		if led != nil {
+			led.Mark(t.pos, now, obs.PhaseRetryBackoff)
+			t.phase = obs.PhaseRetryBackoff
 		}
 		retryQ.push(retryEntry{t: t, at: now + n.backoff(t.Attempts)})
 		out.Retries++
@@ -510,6 +559,11 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			if retryQ.Len() > 0 && retryQ.peek().at < wake {
 				wake = retryQ.peek().at
 			}
+			if occ != nil && wake > now {
+				// Empty-queue jump: the whole chip sits idle (or masked)
+				// until the next arrival or retry wakes it.
+				occ.Interval(int64(math.Ceil((wake-now)*cps)), 0, 0, int64(total-n.capacity(total)))
+			}
 			now = wake
 			applyFaults()
 			if err := admit(); err != nil {
@@ -524,6 +578,17 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			// which is the only event that can change capacity.
 			nc := n.Faults.NextChange(now)
 			if !math.IsInf(nc, 1) {
+				if led != nil {
+					for _, t := range tasks {
+						if t.phase != obs.PhaseFaultStall {
+							led.Mark(t.pos, now, obs.PhaseFaultStall)
+							t.phase = obs.PhaseFaultStall
+						}
+					}
+				}
+				if occ != nil && nc > now {
+					occ.Interval(int64(math.Ceil((nc-now)*cps)), 0, 0, int64(total))
+				}
 				now = nc
 				continue
 			}
@@ -531,21 +596,27 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 			// still-to-arrive request can ever be served. Drain them all
 			// as shed and end the run gracefully — their Finishes stay
 			// -1 and count against the SLA.
-			shedOne := func(at float64, id int, model string, attempt int, energy float64) {
+			shedOne := func(at float64, pos, id int, model string, attempt int, energy float64) {
 				if tracing {
 					n.Trace.record(Event{Time: at, Kind: EvShed, Task: id, Model: model, Attempt: attempt})
 				}
 				cSheds.Inc()
 				out.Shed++
 				out.EnergyJ += energy
+				if led != nil {
+					// Terminal works for open and never-opened records
+					// alike: the Open half degrades to a zero-length mark
+					// when a chain already exists.
+					led.Terminal(pos, at, at, obs.PhaseQueueWait, obs.CauseShedDeadChip)
+				}
 			}
 			for _, t := range tasks {
-				shedOne(now, t.ID, t.Req.Model, t.Attempts, t.EnergyJ)
+				shedOne(now, t.pos, t.ID, t.Req.Model, t.Attempts, t.EnergyJ)
 			}
 			tasks = tasks[:0]
 			for retryQ.Len() > 0 {
 				e := retryQ.pop()
-				shedOne(now, e.t.ID, e.t.Req.Model, e.t.Attempts, e.t.EnergyJ)
+				shedOne(now, e.t.pos, e.t.ID, e.t.Req.Model, e.t.Attempts, e.t.EnergyJ)
 			}
 			for ; nextPending < len(pending); nextPending++ {
 				r := pending[nextPending]
@@ -553,7 +624,15 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 					n.Trace.record(Event{Time: r.Arrival, Kind: EvArrival, Task: r.ID, Model: r.Model})
 				}
 				cRequests.Inc()
-				shedOne(r.Arrival, r.ID, r.Model, 0, 0)
+				pos := r.ID
+				if !identityIDs {
+					if aliased {
+						pos = nextPending
+					} else {
+						pos = index[r.ID]
+					}
+				}
+				shedOne(r.Arrival, pos, r.ID, r.Model, 0, 0)
 			}
 			break
 		}
@@ -610,6 +689,25 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				}
 			}
 			t.applyRealloc(int64(na), &n.Cfg, penScale)
+			if led != nil {
+				// Phase transition at the scheduling event: allocated and
+				// penalty-free means computing, allocated but draining a
+				// re-allocation penalty means preempt-stall, unallocated
+				// means queued. Stamp only actual transitions so steady
+				// state adds no marks.
+				ph := obs.PhaseQueueWait
+				if t.Alloc > 0 {
+					if t.PenaltyCycles > 0 {
+						ph = obs.PhasePreemptStall
+					} else {
+						ph = obs.PhaseCompute
+					}
+				}
+				if ph != t.phase {
+					led.Mark(t.pos, now, ph)
+					t.phase = ph
+				}
+			}
 			if t.Alloc > 0 {
 				running++
 				inUse += t.Alloc
@@ -688,6 +786,24 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		if dtCycles < 1 {
 			dtCycles = 1
 		}
+		if occ != nil {
+			// Occupancy accounting in wall-cycles (not derate-scaled work
+			// cycles, so the split is speed-independent): each allocated
+			// subarray is busy or — while its task drains a re-allocation
+			// penalty — reconfiguring; fault-masked subarrays are faulted;
+			// the rest idle. Zero-width intervals contribute nothing.
+			var busyU, reconfU int64
+			for _, t := range tasks {
+				if t.Alloc > 0 {
+					if t.PenaltyCycles > 0 {
+						reconfU += int64(t.Alloc)
+					} else {
+						busyU += int64(t.Alloc)
+					}
+				}
+			}
+			occ.Interval(int64(math.Ceil(dt*cps)), busyU, reconfU, int64(total-capNow))
+		}
 		for _, t := range tasks {
 			if t.Alloc > 0 {
 				t.advance(dtCycles, n.Params)
@@ -723,6 +839,9 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 						obs.Num("deadline_ms", (t.Req.Deadline-t.Req.Arrival)*1e3),
 						obs.Num("preemptions", float64(t.Preemptions)))
 					tracer.Counter(taskTrack(t.ID), "subarrays", now, 0)
+				}
+				if led != nil {
+					led.Close(t.pos, now, obs.CauseDone)
 				}
 				idx := t.pos
 				out.Finishes[idx] = now

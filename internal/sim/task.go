@@ -13,6 +13,7 @@ import (
 	"planaria/internal/arch"
 	"planaria/internal/compiler"
 	"planaria/internal/energy"
+	"planaria/internal/obs"
 	"planaria/internal/workload"
 )
 
@@ -51,6 +52,11 @@ type Task struct {
 	// progress (EnergyJ keeps accruing — the wasted work was real) and
 	// re-enqueues it after a capped exponential backoff.
 	Attempts int
+	// phase is the task's current attribution phase (DESIGN.md §14).
+	// Only read and written under `if led != nil` guards, so it carries
+	// no cost — and may hold stale arena garbage — when the node has no
+	// attribution ledger.
+	phase obs.Phase
 }
 
 // Done reports whether the task has completed every layer.

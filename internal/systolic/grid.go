@@ -128,6 +128,11 @@ type Grid struct {
 	// counters on the cycle timeline; obsSample is the sampling period.
 	obsTB     *obs.TraceBuilder
 	obsSample int64
+	// occAcct, when non-nil, receives band-cycle occupancy accounting at
+	// end of Run: each claimed band busy to its cluster's drain cycle,
+	// faulty bands faulted for the whole run, the rest idle
+	// (DESIGN.md §14).
+	occAcct *obs.Occupancy
 }
 
 // New creates a grid of bandsR×bandsC subarrays, each subR×subC PEs.
@@ -231,6 +236,14 @@ func (g *Grid) Observe(tb *obs.TraceBuilder, sampleEvery int64) {
 	g.obsTB = tb
 	g.obsSample = sampleEvery
 }
+
+// SetOccupancy implements obs.OccupancyAware: at end of Run the grid
+// accounts every band-cycle of the run into the accountant — busy for
+// claimed bands up to their cluster's drain cycle, faulted for masked
+// bands over the whole run, idle for the remainder — so the integer
+// conservation identity busy+idle+faulted+reconfig == bands × cycles
+// holds exactly.
+func (g *Grid) SetOccupancy(a *obs.Occupancy) { g.occAcct = a }
 
 // AddCluster claims the spec's subarray bands for a new logical cluster
 // and schedules an M×K×N GEMM on it: weights (K×N) are preloaded, the
@@ -604,6 +617,34 @@ func (g *Grid) Run(maxCycles int64) (int64, error) {
 				}
 			}
 		}
+	}
+	if g.occAcct != nil {
+		// Band-cycle occupancy accounting: claimed bands are busy from
+		// configuration (cycle 0) through their cluster's drain cycle,
+		// faulty bands are masked for the whole run, and CloseHorizon
+		// derives idle as the exact integer remainder. AddCluster never
+		// places a cluster on a faulty band, so busy and faulted bands
+		// are disjoint.
+		a := g.occAcct
+		a.SetUnits(int64(g.bandsR * g.bandsC))
+		horizon := g.cycle + 1
+		for _, cl := range g.clusters {
+			busy := cl.lastOut + 1
+			if busy > horizon {
+				horizon = busy
+			}
+			a.AddBusy(int64(cl.spec.H*cl.spec.W), busy)
+		}
+		nFaulty := int64(0)
+		for r := 0; r < g.bandsR; r++ {
+			for c := 0; c < g.bandsC; c++ {
+				if g.faulty[r][c] {
+					nFaulty++
+				}
+			}
+		}
+		a.AddFaulted(nFaulty, horizon)
+		a.CloseHorizon(horizon)
 	}
 	return g.cycle, nil
 }

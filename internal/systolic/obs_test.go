@@ -97,3 +97,46 @@ func TestGridObserverNilIsFree(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGridOccupancyConservation pins the band-cycle accounting fed into
+// the fleet utilization accountant: claimed bands are busy to their
+// cluster's drain cycle, masked bands are faulted for the whole run, and
+// the integer partition busy+idle+faulted+reconfig == bands × horizon
+// holds exactly.
+func TestGridOccupancyConservation(t *testing.T) {
+	g, err := New(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InjectSubarrayFault(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	occ := obs.NewOccupancy(0)
+	g.SetOccupancy(occ)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := g.AddCluster(ClusterSpec{0, 0, 1, 2}, randMat(rng, 8, 8), randMat(rng, 16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(1 << 14); err != nil {
+		t.Fatal(err)
+	}
+	if occ.Units != 4 {
+		t.Fatalf("units = %d, want 4 bands", occ.Units)
+	}
+	if occ.Horizon <= 0 || occ.Busy <= 0 {
+		t.Fatalf("degenerate accounting: %+v", occ)
+	}
+	if occ.Faulted != occ.Horizon {
+		t.Fatalf("one masked band should be faulted for the whole run: %+v", occ)
+	}
+	if got := occ.Busy + occ.Idle + occ.Faulted + occ.Reconfig; got != occ.Units*occ.Horizon {
+		t.Fatalf("band-cycle partition broke: %d != %d (%+v)", got, occ.Units*occ.Horizon, occ)
+	}
+	// Two claimed bands for the drain span: busy = 2 × (lastOut+1) ≤ 2 × horizon.
+	if occ.Busy > 2*occ.Horizon {
+		t.Fatalf("busy %d exceeds 2 bands × horizon %d", occ.Busy, occ.Horizon)
+	}
+	if u := occ.Utilization(); u <= 0 || u > 0.5 {
+		t.Fatalf("utilization = %g, want in (0, 0.5] with 2 of 4 bands claimed", u)
+	}
+}
