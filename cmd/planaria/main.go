@@ -5,7 +5,8 @@
 //	planaria [flags] <experiment>...
 //
 // Experiments: table1, table2, fig12, fig13, fig14, fig15, fig16, fig17,
-// fig18, fig19, ablation, models, trace, chaos, cluster, attrib, all.
+// fig18, fig19, ablation, models, trace, chaos, cluster, attrib,
+// autoscale, all.
 //
 // The trace experiment runs one instrumented co-location instance on both
 // systems and writes a Perfetto-loadable timeline (-trace-out) and a
@@ -32,6 +33,13 @@
 // (busy/idle/faulted/reconfig cycles). -attrib-out writes the
 // deterministic BENCH_attrib.json artifact.
 //
+// The autoscale experiment replays a planet-scale workload trace — a
+// 24 h diurnal rate curve with flash crowds (-trace-file for a custom
+// JSON spec) — against a grid of static fleet sizes (-statics) and one
+// autoscaled fleet (-ceiling slots), comparing SLA attainment against
+// chip-hours billed. -autoscale-out writes the deterministic
+// BENCH_autoscale.json artifact.
+//
 // Flags tune simulation fidelity; the defaults match EXPERIMENTS.md.
 // Profiling flags (-cpuprofile, -memprofile, -phasestats) live here in
 // the CLI: the simulation packages never read the wall clock (enforced by
@@ -55,6 +63,7 @@ import (
 	"planaria/internal/metrics"
 	"planaria/internal/sim"
 	"planaria/internal/workload"
+	"planaria/internal/workload/trace"
 )
 
 // phaseClock reports wall-clock and heap-allocation deltas per CLI phase
@@ -135,12 +144,16 @@ func run() int {
 	maxBatch := flag.Int("max-batch", 8, "cluster batch size cap (with -batch-window > 0)")
 	clusterOut := flag.String("cluster-out", "", "write the cluster experiment's BENCH_cluster.json artifact to this file")
 	attribOut := flag.String("attrib-out", "", "write the attrib experiment's BENCH_attrib.json artifact to this file")
+	traceFile := flag.String("trace-file", "", "JSON trace spec for the autoscale experiment (default: the built-in 24 h planet-day trace)")
+	staticsSpec := flag.String("statics", "", "comma-separated static fleet sizes for the autoscale experiment (default 1,2,3)")
+	ceiling := flag.Int("ceiling", 0, "autoscaled fleet slot ceiling for the autoscale experiment (default 6)")
+	autoscaleOut := flag.String("autoscale-out", "", "write the autoscale experiment's BENCH_autoscale.json artifact to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	phasestats := flag.Bool("phasestats", false, "report per-phase wall-clock and allocations on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: planaria [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos cluster attrib all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablation models trace chaos cluster attrib autoscale all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -324,6 +337,12 @@ func run() int {
 			return fail(err)
 		}
 		phases.mark("attrib")
+	}
+	if want["autoscale"] {
+		if err := runAutoscale(suite, *traceFile, *staticsSpec, *ceiling, *autoscaleOut); err != nil {
+			return fail(err)
+		}
+		phases.mark("autoscale")
 	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
 	return 0
@@ -547,6 +566,47 @@ func runAttrib(suite *experiments.Suite, scenario string, rate, batchWindow floa
 			return err
 		}
 		fmt.Printf("attrib: %s (%d bytes)\n", attribOut, len(j))
+	}
+	return nil
+}
+
+// runAutoscale replays the planet-scale trace against static fleets and
+// the autoscaled one, printing the SLA-versus-chip-hours table.
+func runAutoscale(suite *experiments.Suite, traceFile, staticsSpec string,
+	ceiling int, autoscaleOut string) error {
+	o := experiments.DefaultAutoscaleOptions()
+	if traceFile != "" {
+		data, err := os.ReadFile(traceFile)
+		if err != nil {
+			return err
+		}
+		if o.Trace, err = trace.ParseJSON(data); err != nil {
+			return err
+		}
+	}
+	if staticsSpec != "" {
+		var err error
+		if o.Statics, err = parseChips(staticsSpec); err != nil {
+			return err
+		}
+	}
+	if ceiling > 0 {
+		o.Chips = ceiling
+	}
+	rows, err := suite.AutoscaleSweep(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAutoscale(o, rows))
+	if autoscaleOut != "" {
+		j, err := experiments.AutoscaleJSON(o, rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(autoscaleOut, j, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("autoscale: %s (%d bytes)\n", autoscaleOut, len(j))
 	}
 	return nil
 }

@@ -158,6 +158,10 @@ var DeterministicPackages = map[string]bool{
 	// seed must yield the same request stream, and the SLA tallies must
 	// not depend on iteration order.
 	"workload": true,
+	// Trace replay doubly so: a trace spec IS a reproducibility claim
+	// (same spec, same seed → the same planet-scale request stream,
+	// byte-for-byte), and BENCH_autoscale.json is compared across runs.
+	"trace": true,
 	// The shared simulated-time comparisons (epsilon discipline) back
 	// every scheduling decision above.
 	"simtime": true,

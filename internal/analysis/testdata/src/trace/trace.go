@@ -1,0 +1,26 @@
+// Package trace is a noclock fixture: the planet-scale trace layer is a
+// deterministic package — arrival streams must replay from a spec's
+// seed, never from the wall clock or the process-wide RNG.
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClockArrival stamps an arrival off the wall clock.
+func WallClockArrival() float64 {
+	return float64(time.Now().UnixNano()) * 1e-9 // want `time\.Now in deterministic package "trace"`
+}
+
+// GlobalRandThinning thins candidates with the process-wide generator.
+func GlobalRandThinning(rate, peak float64) bool {
+	return rand.Float64() < rate/peak // want `global math/rand\.Float64`
+}
+
+// SeededStream is the sanctioned pattern: every draw comes from the
+// spec's own seeded generator.
+func SeededStream(seed int64, lambda float64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.ExpFloat64() / lambda
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"planaria/internal/obs"
+)
+
+// Autoscaling (DESIGN.md §15): with Config.Scale set, the cluster's chip
+// slots stop being a fixed fleet. Slots join with a simulated boot
+// latency and leave via *graceful drain* — a draining slot stops
+// admitting new work, its not-yet-started dispatch groups migrate to the
+// least-loaded routable chip (or shed, as ShedDrain, when none remains),
+// and the slot retires once its in-flight work is estimated done. A
+// pluggable ScaleController reads the admission-queue pressure signal at
+// a fixed control period and decides the desired fleet size; the default
+// controller grows proportionally to backlog (flash crowds get multi-chip
+// jumps in one tick) and shrinks one chip at a time after a hold-down.
+//
+// Everything runs on the same simulated clock as dispatch itself —
+// control ticks interleave deterministically with the admit walk — so an
+// autoscaled run at a fixed seed stays byte-reproducible, and the
+// conservation invariant extends by exactly one term:
+// Completed + ShedFront + ShedChips + Rejected + ShedDrain == arrivals.
+
+// Autoscale configures the cluster autoscaler. Config.Chips becomes the
+// fleet ceiling (the number of chip slots that exist); the controller
+// moves the *active* count within [Min, Chips].
+type Autoscale struct {
+	// Min is the floor on active chips (default 1).
+	Min int
+	// Initial is the number of slots ready at t = 0 (default Min).
+	Initial int
+	// BootS is the boot latency in simulated seconds: a slot booted at t
+	// becomes routable at t + BootS.
+	BootS float64
+	// IntervalS is the control period in simulated seconds (required).
+	IntervalS float64
+	// Controller decides the desired fleet size each tick; nil means a
+	// default-tuned Hysteresis controller.
+	Controller ScaleController
+}
+
+// withDefaults resolves the zero-value conveniences.
+//
+//perf:cold per-run configuration resolution, before the serving loop
+func (a *Autoscale) withDefaults() Autoscale {
+	out := *a
+	if out.Min == 0 {
+		out.Min = 1
+	}
+	if out.Initial == 0 {
+		out.Initial = out.Min
+	}
+	if out.Controller == nil {
+		out.Controller = &Hysteresis{}
+	}
+	return out
+}
+
+// validate checks the autoscale knobs against the fleet ceiling.
+func (a *Autoscale) validate(chips int) error {
+	r := a.withDefaults()
+	if r.Min < 1 || r.Min > chips {
+		return fmt.Errorf("cluster: autoscale Min %d outside [1, %d]", r.Min, chips)
+	}
+	if r.Initial < r.Min || r.Initial > chips {
+		return fmt.Errorf("cluster: autoscale Initial %d outside [Min %d, %d]", r.Initial, r.Min, chips)
+	}
+	if math.IsNaN(a.BootS) || math.IsInf(a.BootS, 0) || a.BootS < 0 {
+		return fmt.Errorf("cluster: autoscale BootS %v", a.BootS)
+	}
+	if !(a.IntervalS > 0) || math.IsInf(a.IntervalS, 0) {
+		return fmt.Errorf("cluster: autoscale needs a positive control interval, got %v", a.IntervalS)
+	}
+	return nil
+}
+
+// ScaleSignal is the pressure snapshot a controller reads each tick.
+type ScaleSignal struct {
+	// Time is the tick instant (simulated seconds).
+	Time float64
+	// Active counts routable slots (ready, not draining); Booting counts
+	// slots still paying their boot latency; Draining counts slots
+	// finishing in-flight work.
+	Active, Booting, Draining int
+	// BacklogS sums the routable chips' outstanding estimated work in
+	// seconds — the same estimate the least-work balancer routes on.
+	BacklogS float64
+	// MaxWaitS is the worst token-bucket admission delay (admit instant −
+	// arrival) observed since the previous tick: the front door's debt.
+	MaxWaitS float64
+	// Arrivals counts admits processed since the previous tick.
+	Arrivals int
+}
+
+// ScaleController decides the desired fleet size from the pressure
+// signal. Desired is called exactly once per control tick, in simulated
+// time order, so stateful controllers (hold-down counters, scripted
+// schedules) stay deterministic.
+type ScaleController interface {
+	Name() string
+	// Desired returns the wanted slot count; the autoscaler clamps it to
+	// [Min, Chips] and to what boot/drain mechanics allow.
+	Desired(s ScaleSignal) int
+}
+
+// Hysteresis is the default controller: scale up fast, scale down slow.
+// Upward it is proportional — desired = ceil(backlog / TargetS) — so a
+// flash crowd that multiplies the backlog books several chips in a
+// single tick rather than one per tick; an admission-debt trip wire
+// (MaxWaitS > DebtS) forces at least one extra chip even while backlog
+// estimates lag. Downward it waits HoldTicks consecutive calm ticks and
+// then releases one chip, so a transient lull inside a crowd cannot
+// trigger a drain that the next spike regrets.
+type Hysteresis struct {
+	// TargetS is the per-fleet backlog the controller sizes for, in
+	// seconds of estimated work per chip (default 0.25).
+	TargetS float64
+	// DebtS is the admission-wait trip wire in seconds (default 0.05).
+	DebtS float64
+	// HoldTicks is the calm-tick count before shrinking by one
+	// (default 3).
+	HoldTicks int
+
+	calm int
+}
+
+// Name names the controller in artifacts.
+func (h *Hysteresis) Name() string { return "hysteresis" }
+
+// Desired implements ScaleController.
+func (h *Hysteresis) Desired(s ScaleSignal) int {
+	target := h.TargetS
+	if target <= 0 {
+		target = 0.25
+	}
+	debt := h.DebtS
+	if debt <= 0 {
+		debt = 0.05
+	}
+	hold := h.HoldTicks
+	if hold <= 0 {
+		hold = 3
+	}
+	want := int(math.Ceil(s.BacklogS / target))
+	if want < 1 {
+		want = 1
+	}
+	effective := s.Active + s.Booting
+	if s.MaxWaitS > debt && want <= effective {
+		want = effective + 1
+	}
+	if want >= effective {
+		if want > effective {
+			h.calm = 0
+		}
+		return want
+	}
+	h.calm++
+	if h.calm >= hold {
+		h.calm = 0
+		return effective - 1
+	}
+	return effective
+}
+
+// ScaleStep is one step of a scripted fleet-size schedule.
+type ScaleStep struct {
+	AtS   float64
+	Chips int
+}
+
+// Script is a deterministic controller that replays an explicit desired
+// fleet-size schedule — the race-hardening tests use it to force drains
+// at exact instants (against faults, flash crowds, and chip death), and
+// it doubles as a way to replay a recorded scaling plan.
+type Script struct {
+	// Steps must be sorted by AtS; the desired size at time t is the last
+	// step with AtS <= t (Initial applies before the first step).
+	Steps []ScaleStep
+}
+
+// Name names the controller in artifacts.
+func (s *Script) Name() string { return "script" }
+
+// Desired implements ScaleController.
+func (s *Script) Desired(sig ScaleSignal) int {
+	idx := sort.Search(len(s.Steps), func(i int) bool { return s.Steps[i].AtS > sig.Time })
+	if idx == 0 {
+		return sig.Active + sig.Booting
+	}
+	return s.Steps[idx-1].Chips
+}
+
+// slotState is a chip slot's lifecycle position.
+type slotState uint8
+
+const (
+	slotOff slotState = iota
+	slotBooting
+	slotReady
+	slotDraining
+)
+
+// chipSlot is one slot's autoscaler-side record.
+type chipSlot struct {
+	state   slotState
+	readyAt float64 // boot completion instant (valid in slotBooting/slotReady)
+	// retireAt is the estimated in-flight completion of the last drain;
+	// the slot can be re-booted only at t >= retireAt.
+	retireAt float64
+	// pend holds indices into the run's dispatch-record slice for groups
+	// routed here and not yet estimated finished, in dispatch order
+	// (estimated start and end both monotone). Pruned from the front.
+	pend []int32
+}
+
+// autoscaler is the per-run fleet state machine. It lives entirely
+// inside cluster.Run's single-goroutine front-end walk; Run consults
+// routable() on every dispatch and calls tick() at each control instant.
+type autoscaler struct {
+	cfg   Autoscale
+	chips int
+	slots []chipSlot
+	fleet *obs.Fleet
+
+	nextTick float64
+	debtMax  float64 // worst admission wait since the previous tick
+	arrivals int     // admits since the previous tick
+
+	// scale-event counters (registered only on scaled runs).
+	cUp, cDown, cDrains, cMigrated, cDrainShed *obs.Counter
+}
+
+// newAutoscaler builds the run's fleet state: slots 0..Initial-1 ready
+// at t = 0, the rest off.
+//
+//perf:cold per-run setup, before the serving loop
+func newAutoscaler(cfg *Autoscale, chips int, reg *obs.Registry) *autoscaler {
+	r := cfg.withDefaults()
+	a := &autoscaler{
+		cfg:        r,
+		chips:      chips,
+		slots:      make([]chipSlot, chips),
+		fleet:      obs.NewFleet(chips),
+		nextTick:   r.IntervalS,
+		cUp:        reg.Counter("cluster_scale_up_total"),
+		cDown:      reg.Counter("cluster_scale_down_total"),
+		cDrains:    reg.Counter("cluster_drains_total"),
+		cMigrated:  reg.Counter("cluster_migrated_total"),
+		cDrainShed: reg.Counter("cluster_drain_shed_total"),
+	}
+	for i := 0; i < r.Initial; i++ {
+		a.slots[i].state = slotReady
+		a.fleet.Note(0, i, obs.FleetBoot)
+		a.fleet.Note(0, i, obs.FleetReady)
+	}
+	return a
+}
+
+// routable reports whether slot i may receive new work at instant t.
+// Health masking stays the balancer's separate concern.
+func (a *autoscaler) routable(i int, t float64) bool {
+	s := &a.slots[i]
+	switch s.state {
+	case slotReady:
+		return true
+	case slotBooting:
+		if t >= s.readyAt {
+			s.state = slotReady
+			return true
+		}
+	}
+	return false
+}
+
+// counts tallies the fleet states at instant t (promoting finished
+// boots, so Active reflects instant t exactly).
+func (a *autoscaler) counts(t float64) (active, booting, draining int) {
+	for i := range a.slots {
+		s := &a.slots[i]
+		switch s.state {
+		case slotBooting:
+			if t >= s.readyAt {
+				s.state = slotReady
+				active++
+			} else {
+				booting++
+			}
+		case slotReady:
+			active++
+		case slotDraining:
+			if t >= s.retireAt {
+				s.state = slotOff
+			} else {
+				draining++
+			}
+		}
+	}
+	return
+}
+
+// noteWait feeds one admission wait into the debt signal.
+func (a *autoscaler) noteWait(w float64) {
+	if w > a.debtMax {
+		a.debtMax = w
+	}
+	a.arrivals++
+}
+
+// bootOne powers on the lowest-index available slot at instant t,
+// returning the slot index or -1 when every slot is active, booting,
+// draining, or still finishing a previous drain.
+func (a *autoscaler) bootOne(t float64) int {
+	for i := range a.slots {
+		s := &a.slots[i]
+		if s.state == slotOff && t >= s.retireAt {
+			s.state = slotBooting
+			s.readyAt = t + a.cfg.BootS
+			a.fleet.Note(t, i, obs.FleetBoot)
+			a.fleet.Note(s.readyAt, i, obs.FleetReady)
+			a.cUp.Inc()
+			return i
+		}
+	}
+	return -1
+}
+
+// drainCandidate picks the active slot with the least outstanding
+// estimated work at instant t (ties to the highest index, so the newest
+// spare retires first), or -1 when none is active.
+func (a *autoscaler) drainCandidate(t float64, busyUntil []float64) int {
+	best, bestOut := -1, 0.0
+	for i := range a.slots {
+		if a.slots[i].state != slotReady {
+			continue
+		}
+		out := busyUntil[i] - t
+		if out < 0 {
+			out = 0
+		}
+		if best < 0 || out <= bestOut {
+			best, bestOut = i, out
+		}
+	}
+	return best
+}

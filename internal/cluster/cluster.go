@@ -69,6 +69,14 @@ type Config struct {
 	// the "" bucket when present and admit freely otherwise.
 	Admission map[string]TokenBucket
 
+	// Scale, when non-nil, turns the fixed fleet into an autoscaled one:
+	// Chips becomes the slot ceiling and a ScaleController moves the
+	// active count between Scale.Min and Chips, with simulated boot
+	// latency on the way up and graceful drain (migrate queued work,
+	// finish in-flight, retire) on the way down. Nil keeps the exact
+	// static-fleet behavior. See autoscale.go / DESIGN.md §15.
+	Scale *Autoscale
+
 	// Faults holds one fault schedule per chip (nil entries = healthy
 	// chip). Nil disables fault injection cluster-wide.
 	Faults []*fault.Schedule
@@ -109,6 +117,11 @@ func (c *Config) validate() error {
 	}
 	if c.Faults != nil && len(c.Faults) != c.Chips {
 		return fmt.Errorf("cluster: %d fault schedules for %d chips", len(c.Faults), c.Chips)
+	}
+	if c.Scale != nil {
+		if err := c.Scale.validate(c.Chips); err != nil {
+			return err
+		}
 	}
 	if c.FaultMode == sim.FaultFission {
 		units := c.System.Cfg.NumSubarrays()
@@ -152,8 +165,9 @@ type Outcome struct {
 	Latency  []float64
 
 	// Terminal-state conservation: every request lands in exactly one of
-	// these four tallies, so
-	// Completed + ShedFront + ShedChips + Rejected == len(reqs).
+	// these five tallies, so
+	// Completed + ShedFront + ShedChips + Rejected + ShedDrain == len(reqs)
+	// (ShedDrain is zero on static fleets).
 	Completed int
 	// ShedFront counts front-door declines: admission-bucket overflow
 	// plus dispatches with no healthy chip left.
@@ -164,6 +178,13 @@ type Outcome struct {
 	ShedChips int
 	// Rejected counts requests for models no chip has a program for.
 	Rejected int
+	// ShedDrain counts requests queued on a draining chip with no
+	// routable chip left to migrate to (autoscaled runs only).
+	ShedDrain int
+	// Migrated counts requests pulled off a draining chip and re-routed.
+	// Informational, not part of the conservation partition: a migrated
+	// request still terminates in one of the five tallies above.
+	Migrated int
 
 	// Killed/Retries/FaultEvents total the chips' fault tallies.
 	Killed      int
@@ -189,6 +210,10 @@ type Outcome struct {
 
 	// PerChip holds each chip's share.
 	PerChip []*ChipResult
+
+	// Fleet is the autoscaled run's chip-lifecycle log (nil on static
+	// fleets); Fleet.ChipSeconds costs the run in chip-time.
+	Fleet *obs.Fleet
 
 	// Attrib joins the front-door ledger with the per-chip ledgers (nil
 	// unless Config.Attrib). See Outcome.AttribReport.
@@ -258,9 +283,13 @@ func (h *healthSteps) aliveAt(t float64, total int) int {
 // it straight into the escaping backing array — a leader copy plus five
 // scalar writes — with no intermediate merged-request buffer to pool,
 // copy out of, and GC-scan.
+// On autoscaled runs chip can also be a tombstone: -1 marks a group shed
+// during a drain (ShedDrain), -2 a group migrated away (a later record
+// serves its members); both are skipped by the layout and merge phases.
 type dispatchRec struct {
 	chip     int
-	pos      int // position within the chip's request slice
+	pos      int     // position within the chip's request slice
+	cost     float64 // estimated service seconds added to the chip's backlog
 	members  []int
 	at       float64 // merged Arrival (dispatch time)
 	deadline float64 // merged Deadline (tightest member)
@@ -306,6 +335,7 @@ type runScratch struct {
 	prios       []int32
 	doms        []uint8
 	dispatches  []dispatchRec
+	ends        []float64 // autoscaled runs: estimated completion per dispatch record
 	memberArena []int
 	frontA      []sim.Event
 	frontB      []sim.Event
@@ -391,6 +421,14 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		}
 	}
 
+	// Autoscaled fleet state (nil on static runs: every asc-guarded site
+	// below then costs one untaken branch, keeping the static path's
+	// per-request allocation profile unchanged).
+	var asc *autoscaler
+	if cfg.Scale != nil {
+		asc = newAutoscaler(cfg.Scale, cfg.Chips, reg)
+	}
+
 	// Front-door events accumulate in two runs, each appended in
 	// non-decreasing time order: frontA holds the stage-1 arrival/shed
 	// events, frontB the dispatch-time events. Export merges them stably
@@ -412,6 +450,13 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	}
 	dispatches := grow(sc.dispatches, dispCap)
 	memberArena := grow(sc.memberArena, len(reqs))
+	ends := sc.ends[:0]
+	if asc != nil {
+		ends = grow(sc.ends, dispCap)
+	}
+	// frontC collects the future-dated EvScaleDown retire events an
+	// autoscaled traced run emits out of order; export sorts and merges it.
+	var frontC []sim.Event
 	frontA, frontB := sc.frontA[:0], sc.frontB[:0]
 	if cfg.Trace != nil {
 		frontA = grow(sc.frontA, 2*len(reqs))
@@ -422,7 +467,7 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	defer func() {
 		sc.admits, sc.works, sc.dispatches = admits[:0], works[:0], dispatches[:0]
 		sc.arrs, sc.dls, sc.prios, sc.doms = arrs[:0], dls[:0], prios[:0], doms[:0]
-		sc.memberArena = memberArena[:0]
+		sc.memberArena, sc.ends = memberArena[:0], ends[:0]
 		sc.frontA, sc.frontB = frontA[:0], frontB[:0]
 		sc.batchPool, sc.queue = batchPool, queue[:0]
 		scratchPool.Put(sc)
@@ -448,6 +493,9 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		Latency:    make([]float64, len(reqs)),
 		Dispatched: make([]int, cfg.Chips),
 		PerChip:    make([]*ChipResult, cfg.Chips),
+	}
+	if asc != nil {
+		out.Fleet = asc.fleet
 	}
 	// Attribution wiring (DESIGN.md §14): a front-door ledger indexed
 	// like the input plus the chip/position links resolved at dispatch.
@@ -699,6 +747,9 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 				if health[i].aliveAt(tD, totalSub) <= 0 {
 					continue
 				}
+				if asc != nil && !asc.routable(i, tD) {
+					continue
+				}
 				outst := busyUntil[i] - tD
 				if outst < 0 {
 					outst = 0
@@ -713,9 +764,13 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 				if outst < 0 {
 					outst = 0
 				}
+				healthy := health[i].aliveAt(tD, totalSub) > 0
+				if asc != nil && !asc.routable(i, tD) {
+					healthy = false
+				}
 				views[i] = ChipView{
 					Index:       i,
-					Healthy:     health[i].aliveAt(tD, totalSub) > 0,
+					Healthy:     healthy,
 					Outstanding: outst,
 					Dispatched:  out.Dispatched[i],
 				}
@@ -742,7 +797,8 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 			recordB(sim.Event{Time: tD, Kind: sim.EvDispatch, Task: leader.ID, Model: leader.Model, Unit: chip})
 		}
 		cDispatch[chip].Inc()
-		busyUntil[chip] = math.Max(busyUntil[chip], tD) + isoByID[model]*mw
+		cost := isoByID[model] * mw
+		busyUntil[chip] = math.Max(busyUntil[chip], tD) + cost
 		if tracer != nil {
 			tracer.Counter("cluster/backlog", chipNames[chip], tD, busyUntil[chip]-tD)
 		}
@@ -762,8 +818,17 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 				linkPos[m] = int32(chipCounts[chip])
 			}
 		}
+		if asc != nil {
+			// Drain bookkeeping: the estimated completion instant and the
+			// slot's pending-group queue let a later drain split in-flight
+			// from queued work without replaying the dispatch walk.
+			//perf:alloc-ok autoscaled-run bookkeeping, amortized appends off the static path
+			ends = append(ends, busyUntil[chip])
+			//perf:alloc-ok autoscaled-run bookkeeping, amortized appends off the static path
+			asc.slots[chip].pend = append(asc.slots[chip].pend, int32(len(dispatches)))
+		}
 		dispatches = append(dispatches, dispatchRec{
-			chip: chip, pos: chipCounts[chip], members: members,
+			chip: chip, pos: chipCounts[chip], cost: cost, members: members,
 			at: at, deadline: deadline, qos: qos,
 			prio: prio, work: work,
 		})
@@ -844,7 +909,182 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		}
 		queue, qHead = queue[:0], 0
 	}
+
+	// Autoscaler control plane: drainChip retires one slot gracefully —
+	// in-flight groups (estimated started before the drain instant) stay
+	// and finish; queued groups migrate to the least-loaded routable chip
+	// or shed as ShedDrain when none remains — and controlTick runs the
+	// controller at each control instant. Both live inside the same
+	// single-goroutine walk as dispatch, so a fault landing on a draining
+	// chip, a flash crowd mid-drain, or a drain racing permanent chip death
+	// all resolve in one deterministic time order.
+	var controlTick func(T float64)
+	if asc != nil {
+		drainChip := func(c int, T float64) {
+			s := &asc.slots[c]
+			s.state = slotDraining
+			asc.cDrains.Inc()
+			asc.fleet.Note(T, c, obs.FleetDrain)
+			if tracing {
+				recordB(sim.Event{Time: T, Kind: sim.EvDrain, Unit: c})
+			}
+			pend := s.pend
+			// Skip groups already estimated finished, then keep the
+			// in-flight prefix: groups whose estimated start precedes the
+			// drain instant run to completion on this chip, and the slot
+			// retires when the last of them is estimated done.
+			i := 0
+			for i < len(pend) && ends[pend[i]] <= T {
+				i++
+			}
+			retire := T
+			for i < len(pend) {
+				di := pend[i]
+				if ends[di]-dispatches[di].cost >= T {
+					break
+				}
+				retire = ends[di]
+				i++
+			}
+			// Everything behind the in-flight prefix is queued work the
+			// drained slot abandons: migrate each group, or shed it when no
+			// routable chip remains. The abandoned groups are the trailing
+			// positions of the slot's request slice, so decrementing the
+			// count keeps per-chip positions dense.
+			for _, di := range pend[i:] {
+				d := dispatches[di]
+				target := -1
+				var bestOut float64
+				for j := range busyUntil {
+					if j == c || health[j].aliveAt(T, totalSub) <= 0 || !asc.routable(j, T) {
+						continue
+					}
+					outst := busyUntil[j] - T
+					if outst < 0 {
+						outst = 0
+					}
+					if target < 0 || outst < bestOut {
+						target, bestOut = j, outst
+					}
+				}
+				out.Dispatched[c]--
+				chipCounts[c]--
+				if target < 0 {
+					dispatches[di].chip = -1 // tombstone: shed during drain
+					out.Batches--
+					membersTotal -= len(d.members)
+					out.ShedDrain += len(d.members)
+					for _, m := range d.members {
+						asc.cDrainShed.Inc()
+						if tracing {
+							recordB(sim.Event{Time: T, Kind: sim.EvShed, Task: reqs[m].ID, Model: reqs[m].Model})
+						}
+						if frontLed != nil {
+							frontLed.Reopen(m, obs.PhaseDrainMigrate)
+							frontLed.Close(m, T, obs.CauseShedDrain)
+							linkChip[m], linkPos[m] = -1, -1
+						}
+					}
+					continue
+				}
+				busyUntil[target] = math.Max(busyUntil[target], T) + d.cost
+				newPos := chipCounts[target]
+				chipCounts[target]++
+				out.Dispatched[target]++
+				out.Migrated += len(d.members)
+				asc.cMigrated.Inc()
+				if tracing {
+					leader := &reqs[d.members[0]]
+					recordB(sim.Event{Time: T, Kind: sim.EvMigrate, Task: leader.ID, Model: leader.Model, Unit: target, Depth: c})
+				}
+				if frontLed != nil {
+					for _, m := range d.members {
+						frontLed.Reopen(m, obs.PhaseDrainMigrate)
+						frontLed.Close(m, T, obs.CauseDispatched)
+						linkChip[m], linkPos[m] = int32(target), int32(newPos)
+					}
+				}
+				//perf:alloc-ok drain-time migration, off the static and steady-state paths
+				ends = append(ends, busyUntil[target])
+				//perf:alloc-ok drain-time migration, off the static and steady-state paths
+				asc.slots[target].pend = append(asc.slots[target].pend, int32(len(dispatches)))
+				nd := d
+				nd.chip, nd.pos, nd.at = target, newPos, T
+				nd.qos = nd.deadline - T
+				//perf:alloc-ok drain-time migration, off the static and steady-state paths
+				dispatches = append(dispatches, nd)
+				dispatches[di].chip = -2 // migrated away: the appended copy serves its members
+			}
+			s.pend = pend[:0]
+			s.retireAt = retire
+			busyUntil[c] = retire
+			asc.fleet.Note(retire, c, obs.FleetRetire)
+			asc.cDown.Inc()
+			if tracing {
+				//perf:alloc-ok future-dated retire event on a traced scaled run
+				frontC = append(frontC, sim.Event{Time: retire, Kind: sim.EvScaleDown, Unit: c})
+			}
+		}
+		controlTick = func(T float64) {
+			active, booting, draining := asc.counts(T)
+			backlog := 0.0
+			for i := range busyUntil {
+				if asc.slots[i].state != slotReady {
+					continue
+				}
+				if w := busyUntil[i] - T; w > 0 {
+					backlog += w
+				}
+			}
+			want := asc.cfg.Controller.Desired(ScaleSignal{
+				Time: T, Active: active, Booting: booting, Draining: draining,
+				BacklogS: backlog, MaxWaitS: asc.debtMax, Arrivals: asc.arrivals,
+			})
+			if want < asc.cfg.Min {
+				want = asc.cfg.Min
+			}
+			if want > asc.chips {
+				want = asc.chips
+			}
+			eff := active + booting
+			for eff < want {
+				c := asc.bootOne(T)
+				if c < 0 {
+					break
+				}
+				if tracing {
+					recordB(sim.Event{Time: T, Kind: sim.EvScaleUp, Unit: c})
+				}
+				eff++
+			}
+			// Scale-down drains ready slots only — boots in flight are never
+			// cancelled — and stops at the Min floor.
+			for eff > want && active > asc.cfg.Min {
+				c := asc.drainCandidate(T, busyUntil)
+				if c < 0 {
+					break
+				}
+				drainChip(c, T)
+				eff--
+				active--
+			}
+			asc.debtMax, asc.arrivals = 0, 0
+		}
+	}
 	for _, a := range admits {
+		if asc != nil {
+			// Control instants interleave with the admit walk in simulated
+			// time order: close out batch windows up to the tick first, so
+			// the controller sees (and drains reassign) exactly the state a
+			// real front door would have at that instant.
+			for a.at >= asc.nextTick {
+				tk := asc.nextTick
+				asc.nextTick += asc.cfg.IntervalS
+				flush(tk)
+				controlTick(tk)
+			}
+			asc.noteWait(a.at - arrs[a.idx])
+		}
 		if !batching {
 			// Single-request group: a one-element capped sub-slice of the
 			// arena, no per-request allocation.
@@ -882,16 +1122,24 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	// dispatchRec captured; dispatch order within a chip matches d.pos
 	// by construction.
 	perChip := make([][]workload.Request, cfg.Chips)
-	backing := make([]workload.Request, len(dispatches))
 	offs := make([]int, cfg.Chips)
 	off := 0
 	for i, n := range chipCounts {
 		offs[i] = off
-		perChip[i] = backing[off : off+n : off+n]
 		off += n
+	}
+	// On autoscaled runs the final layout can be smaller than the record
+	// count: drain tombstones (shed groups) and migrated-away originals
+	// occupy no slot.
+	backing := make([]workload.Request, off)
+	for i, n := range chipCounts {
+		perChip[i] = backing[offs[i] : offs[i]+n : offs[i]+n]
 	}
 	for i := range dispatches {
 		d := &dispatches[i]
+		if d.chip < 0 {
+			continue
+		}
 		m := &backing[offs[d.chip]+d.pos]
 		*m = reqs[d.members[0]]
 		m.Arrival, m.Deadline, m.QoS = d.at, d.deadline, d.qos
@@ -971,6 +1219,9 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 		durBounds = obs.DurationBuckets()
 	}
 	for _, d := range dispatches {
+		if d.chip < 0 {
+			continue // drain tombstone or migrated-away original
+		}
 		chipOut := results[d.chip].Outcome
 		fin := chipOut.Finishes[d.pos]
 		for _, m := range d.members {
@@ -1019,6 +1270,26 @@ func Run(cfg Config, reqs []workload.Request) (*Outcome, error) {
 	}
 
 	if cfg.Trace != nil {
+		if len(frontC) > 0 {
+			// Retire events were recorded at drain-decision time with
+			// future instants; order them and fold into the dispatch run so
+			// exportFront sees two monotone runs again.
+			sort.SliceStable(frontC, func(i, j int) bool { return frontC[i].Time < frontC[j].Time })
+			merged := make([]sim.Event, 0, len(frontB)+len(frontC))
+			i, j := 0, 0
+			for i < len(frontB) && j < len(frontC) {
+				if frontB[i].Time <= frontC[j].Time {
+					merged = append(merged, frontB[i])
+					i++
+				} else {
+					merged = append(merged, frontC[j])
+					j++
+				}
+			}
+			merged = append(merged, frontB[i:]...)
+			merged = append(merged, frontC[j:]...)
+			frontB = merged
+		}
 		exportFront(cfg.Trace, frontA, frontB)
 	}
 	return out, nil

@@ -97,10 +97,10 @@ func genReqs(n int, qps, qos float64, seed int64) []workload.Request {
 // request ID reached more than one chip.
 func checkConservation(t *testing.T, cfg Config, reqs []workload.Request, out *Outcome) {
 	t.Helper()
-	total := out.Completed + out.ShedFront + out.ShedChips + out.Rejected
+	total := out.Completed + out.ShedFront + out.ShedChips + out.Rejected + out.ShedDrain
 	if total != len(reqs) {
-		t.Errorf("conservation violated: completed %d + shedFront %d + shedChips %d + rejected %d = %d, want %d",
-			out.Completed, out.ShedFront, out.ShedChips, out.Rejected, total, len(reqs))
+		t.Errorf("conservation violated: completed %d + shedFront %d + shedChips %d + rejected %d + shedDrain %d = %d, want %d",
+			out.Completed, out.ShedFront, out.ShedChips, out.Rejected, out.ShedDrain, total, len(reqs))
 	}
 	completed := 0
 	for i, fin := range out.Finishes {
@@ -137,6 +137,11 @@ func checkConservation(t *testing.T, cfg Config, reqs []workload.Request, out *O
 	if cfg.Trace != nil {
 		if err := cfg.Trace.Validate(); err != nil {
 			t.Errorf("front-door trace invalid: %v", err)
+		}
+	}
+	if out.Fleet != nil {
+		if err := out.Fleet.Validate(); err != nil {
+			t.Errorf("fleet lifecycle log invalid: %v", err)
 		}
 	}
 }

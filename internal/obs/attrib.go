@@ -42,6 +42,11 @@ const (
 	// PhaseFaultStall is time spent waiting while the chip had zero
 	// usable capacity (every subarray masked by faults).
 	PhaseFaultStall
+	// PhaseDrainMigrate is time a dispatched-but-unstarted request spent
+	// parked on a chip that then began a graceful drain, measured from
+	// its original dispatch to the drain instant where it was migrated
+	// (or shed, when no routable chip remained).
+	PhaseDrainMigrate
 
 	// NumPhases sizes per-phase duration arrays.
 	NumPhases int = iota
@@ -64,6 +69,8 @@ func (p Phase) String() string {
 		return "retry-backoff"
 	case PhaseFaultStall:
 		return "fault-stall"
+	case PhaseDrainMigrate:
+		return "drain-migrate"
 	default:
 		return "phase(?)"
 	}
@@ -96,6 +103,9 @@ const (
 	CauseShedDeadChip
 	// CauseRejected: no program exists for the request's model.
 	CauseRejected
+	// CauseShedDrain: the request was queued on a draining chip and no
+	// routable chip remained to migrate it to.
+	CauseShedDrain
 
 	// NumCauses sizes per-cause count arrays.
 	NumCauses int = iota
@@ -122,6 +132,8 @@ func (c Cause) String() string {
 		return "shed-dead-chip"
 	case CauseRejected:
 		return "rejected"
+	case CauseShedDrain:
+		return "shed-drain"
 	default:
 		return "cause(?)"
 	}
@@ -239,6 +251,25 @@ func (l *Ledger) Close(pos int, t float64, c Cause) {
 	}
 	l.end[pos] = t
 	l.cause[pos] = c
+}
+
+// Reopen re-enters a closed record in phase p, starting at the instant
+// the record was closed — the cluster autoscaler uses it when a graceful
+// drain pulls an already-dispatched request back into the front door for
+// migration: the [close, re-close] gap becomes an attributable span
+// instead of a hole. No-op while the record is still open (there is
+// nothing to resume from).
+func (l *Ledger) Reopen(pos int, p Phase) {
+	if l == nil || pos < 0 || pos >= len(l.head) {
+		return
+	}
+	t := l.end[pos]
+	if math.IsNaN(t) {
+		return
+	}
+	l.end[pos] = math.NaN()
+	l.cause[pos] = CauseOpen
+	l.stamp(pos, t, p)
 }
 
 // Terminal is Open+Close in one call, for records that never queue: the

@@ -141,14 +141,15 @@ func TestLedgerResetReusesArena(t *testing.T) {
 
 func TestPhaseAndCauseStrings(t *testing.T) {
 	wantPhases := []string{"admit-wait", "batch-wait", "queue-wait", "compute",
-		"preempt-stall", "retry-backoff", "fault-stall"}
+		"preempt-stall", "retry-backoff", "fault-stall", "drain-migrate"}
 	for i := 0; i < NumPhases; i++ {
 		if Phase(i).String() != wantPhases[i] {
 			t.Errorf("Phase(%d) = %q, want %q", i, Phase(i), wantPhases[i])
 		}
 	}
 	wantCauses := []string{"open", "done", "dispatched", "shed-admission",
-		"shed-unroutable", "shed-chip", "shed-retries", "shed-dead-chip", "rejected"}
+		"shed-unroutable", "shed-chip", "shed-retries", "shed-dead-chip", "rejected",
+		"shed-drain"}
 	for i := 0; i < NumCauses; i++ {
 		if Cause(i).String() != wantCauses[i] {
 			t.Errorf("Cause(%d) = %q, want %q", i, Cause(i), wantCauses[i])
@@ -162,7 +163,7 @@ func TestPhaseAndCauseStrings(t *testing.T) {
 func TestLedgerBigFloatConservation(t *testing.T) {
 	l := NewLedger(1)
 	l.Open(0, 0.1, PhaseQueueWait)
-	ts := []float64{0.1 + 1.0/3, 0.7, 1.0/0.7, 2.718281828, 3.14159}
+	ts := []float64{0.1 + 1.0/3, 0.7, 1.0 / 0.7, 2.718281828, 3.14159}
 	phases := []Phase{PhaseCompute, PhasePreemptStall, PhaseCompute, PhaseRetryBackoff}
 	for i, p := range phases {
 		l.Mark(0, ts[i], p)
@@ -452,4 +453,47 @@ func TestWarmLedgerStampingZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("warm ledger stamping: %.1f allocs/op, want 0", allocs)
 	}
+}
+
+// TestLedgerReopen covers the drain-migration resume path: a record
+// closed as dispatched reopens in drain-migrate at its close instant, so
+// the [close, re-close] gap is an attributable span and big-float
+// telescoping still holds over the full chain.
+func TestLedgerReopen(t *testing.T) {
+	l := NewLedger(2)
+	l.Open(0, 1.0, PhaseAdmitWait)
+	l.Mark(0, 1.5, PhaseBatchWait)
+	l.Close(0, 2.0, CauseDispatched)
+	l.Reopen(0, PhaseDrainMigrate)
+	if l.Closed(0) || l.Cause(0) != CauseOpen {
+		t.Fatal("Reopen left the record closed")
+	}
+	if p, ok := l.Current(0); !ok || p != PhaseDrainMigrate {
+		t.Fatalf("Current after Reopen = %v, want drain-migrate", p)
+	}
+	l.Close(0, 3.25, CauseShedDrain)
+	var dur [NumPhases]float64
+	if !l.Durations(0, &dur) {
+		t.Fatal("reclosed record has no durations")
+	}
+	if dur[PhaseAdmitWait] != 0.5 || dur[PhaseBatchWait] != 0.5 || dur[PhaseDrainMigrate] != 1.25 {
+		t.Fatalf("durations after Reopen = %v", dur)
+	}
+	spans := l.Spans(0, nil)
+	for i := 1; i < len(spans); i++ {
+		if spans[i].From != spans[i-1].To {
+			t.Fatalf("span %d not contiguous after Reopen: %v", i, spans)
+		}
+	}
+	// Reopen on a still-open record is a no-op; on an out-of-range
+	// position or nil ledger it must not panic.
+	l.Open(1, 0, PhaseCompute)
+	l.Reopen(1, PhaseDrainMigrate)
+	if p, _ := l.Current(1); p != PhaseCompute {
+		t.Fatal("Reopen of an open record changed its phase")
+	}
+	l.Reopen(-1, PhaseDrainMigrate)
+	l.Reopen(99, PhaseDrainMigrate)
+	var nilLed *Ledger
+	nilLed.Reopen(0, PhaseDrainMigrate)
 }

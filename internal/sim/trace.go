@@ -54,6 +54,21 @@ const (
 	// leader) to a chip: Unit is the chip index. Only cluster front-door
 	// traces contain it.
 	EvDispatch
+	// EvScaleUp marks the cluster autoscaler booting a chip slot: Unit is
+	// the slot index; the slot becomes routable after its boot latency.
+	// Fleet events are not bound to a task. Only cluster front-door
+	// traces contain the four autoscaler kinds.
+	EvScaleUp
+	// EvScaleDown marks a drained chip slot powering off (its in-flight
+	// work finished): Unit is the slot index.
+	EvScaleDown
+	// EvDrain marks a chip slot beginning a graceful drain — it stops
+	// admitting new work: Unit is the slot index.
+	EvDrain
+	// EvMigrate marks a dispatch group pulled off a draining chip and
+	// re-routed: Task is the batch leader's request ID, Depth the source
+	// chip, Unit the destination chip.
+	EvMigrate
 )
 
 // String names the event kind.
@@ -83,6 +98,14 @@ func (k EventKind) String() string {
 		return "batch"
 	case EvDispatch:
 		return "dispatch"
+	case EvScaleUp:
+		return "scale-up"
+	case EvScaleDown:
+		return "scale-down"
+	case EvDrain:
+		return "drain"
+	case EvMigrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -138,8 +161,9 @@ func (tr *Trace) Reserve(n int) {
 func (tr *Trace) TasksSeen() []int {
 	seen := map[int]bool{}
 	for _, e := range tr.Events {
-		if e.Kind == EvQueue || e.Kind == EvFault {
-			continue // queue samples and fault transitions are not bound to a task
+		switch e.Kind {
+		case EvQueue, EvFault, EvScaleUp, EvScaleDown, EvDrain:
+			continue // samples, faults, and fleet transitions are not bound to a task
 		}
 		seen[e.Task] = true
 	}
@@ -208,8 +232,15 @@ func (tr *Trace) Validate() error {
 			// Shedding and rejection are terminal: no later allocation,
 			// retry, or completion may reference the task.
 			finished[e.Task] = true
-		case EvFault:
+		case EvFault, EvScaleUp, EvScaleDown, EvDrain:
 			// Not bound to a task; nothing beyond time monotonicity.
+		case EvMigrate:
+			if !arrived[e.Task] {
+				return fmt.Errorf("sim: task %d migrated before arrival", e.Task)
+			}
+			if finished[e.Task] {
+				return fmt.Errorf("sim: task %d migrated after finishing", e.Task)
+			}
 		case EvBatch, EvDispatch:
 			if !arrived[e.Task] {
 				return fmt.Errorf("sim: task %d %s before arrival", e.Task, e.Kind)
@@ -257,6 +288,11 @@ func (tr *Trace) String() string {
 		case EvDispatch:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s -> chip %d\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model, e.Unit)
+		case EvScaleUp, EvScaleDown, EvDrain:
+			fmt.Fprintf(&b, "%9.3f ms  %-10s chip %d\n", e.Time*1e3, e.Kind, e.Unit)
+		case EvMigrate:
+			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s chip %d -> chip %d\n",
+				e.Time*1e3, e.Kind, e.Task, e.Model, e.Depth, e.Unit)
 		default:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model)

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceJSON round-trips the spec format: any input the parser
+// accepts must re-encode canonically, and the canonical form must be a
+// fixed point — encode(parse(x)) == encode(parse(encode(parse(x))))
+// byte-for-byte. Inputs the parser rejects must be rejected without
+// panicking; the CLI feeds user-authored trace files straight into
+// ParseJSON.
+func FuzzTraceJSON(f *testing.F) {
+	if seed, err := testSpec().EncodeJSON(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"version":1,"name":"flat","models":["ResNet-50"],"qos":"QoS-S","seed":1,"horizon_s":10,"base_qps":5}`))
+	f.Add([]byte(`{"version":1,"name":"skew","models":["GNMT","SSD-R"],"qos":"QoS-H","seed":-3,"horizon_s":86400,"base_qps":12.5,"zipf_s":1.1,"max_requests":1000000}`))
+	f.Add([]byte(`{"version":1,"name":"crowd","models":["Tiny YOLO"],"qos":"QoS-M","seed":0,"horizon_s":100,"base_qps":2,"crowds":[{"at_s":10,"mult":8,"ramp_s":5,"decay_s":20}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseJSON(data)
+		if err != nil {
+			return // rejection without panic is the contract
+		}
+		enc, err := s.EncodeJSON()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		s2, err := ParseJSON(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		enc2, err := s2.EncodeJSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

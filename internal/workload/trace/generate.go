@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"planaria/internal/workload"
+)
+
+// userZipfS is the fixed Zipf exponent for the per-user request-volume
+// distribution: heavy enough that a handful of users dominates, which is
+// what makes UserBias produce visible per-user model-mix skew.
+const userZipfS = 1.2
+
+// zipfCDF precomputes the cumulative weights of a finite Zipf(s)
+// distribution over n ranks so sampling is one uniform draw + one binary
+// search. s == 0 degenerates to uniform.
+type zipfCDF struct {
+	cum []float64 // cum[i] = P(rank <= i); cum[n-1] == 1 exactly
+}
+
+func newZipfCDF(n int, s float64) zipfCDF {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // close the last bucket against rounding
+	return zipfCDF{cum: cum}
+}
+
+// sample draws a rank in [0, n) from one uniform variate.
+func (z zipfCDF) sample(u float64) int {
+	// Binary search for the first cum[i] > u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// favoriteOf maps a user rank to that user's favorite model index — a
+// deterministic hash (splitmix-style mix) so the assignment is stable
+// across runs and roughly uniform across models, independent of the
+// user's popularity rank.
+func favoriteOf(user, nModels int) int {
+	x := uint64(user) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(nModels))
+}
+
+// Generate materializes the spec's request stream deterministically from
+// its seed. Arrivals follow the non-stationary Poisson process λ(t) via
+// Lewis–Shedler thinning against the dominating rate peakRate(); each
+// accepted arrival then draws its model (Zipf popularity, optionally
+// overridden by the requesting user's favorite) and priority, and is
+// emitted through workload.NewRequest — the same path the stationary
+// generator uses, so deadline/QoS semantics are identical.
+func (s *Spec) Generate() ([]workload.Request, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	level, _ := qosByName(s.QoS)
+	rng := rand.New(rand.NewSource(s.Seed))
+	models := newZipfCDF(len(s.Models), s.ZipfS)
+	var users zipfCDF
+	if s.Users > 0 {
+		users = newZipfCDF(s.Users, userZipfS)
+	}
+	lambdaMax := s.peakRate()
+	// Pre-size from the expected count: horizon × a coarse mean rate.
+	expect := int(s.HorizonS * s.BaseQPS)
+	if s.MaxRequests > 0 && expect > s.MaxRequests {
+		expect = s.MaxRequests
+	}
+	reqs := make([]workload.Request, 0, expect+expect/8+16)
+	t := 0.0
+	for {
+		// Candidate from the homogeneous dominating process...
+		t += rng.ExpFloat64() / lambdaMax
+		if t >= s.HorizonS {
+			break
+		}
+		// ...thinned by the instantaneous rate ratio. The uniform draw
+		// happens unconditionally so the consumed-variate count per
+		// candidate is fixed — editing a crowd perturbs acceptance, not
+		// the stream's alignment.
+		keep := rng.Float64() < s.rateAt(t)/lambdaMax
+		if !keep {
+			continue
+		}
+		model := s.Models[models.sample(rng.Float64())]
+		if s.Users > 0 {
+			user := users.sample(rng.Float64())
+			if s.UserBias > 0 && rng.Float64() < s.UserBias {
+				model = s.Models[favoriteOf(user, len(s.Models))]
+			}
+		}
+		r, err := workload.NewRequest(len(reqs), t, model, rng.Intn(11)+1, level)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, r)
+		if s.MaxRequests > 0 && len(reqs) >= s.MaxRequests {
+			break
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("trace: spec %q generated an empty stream (horizon %.3gs at %.3g qps)", s.Name, s.HorizonS, s.BaseQPS)
+	}
+	return reqs, nil
+}
+
+// Stationary builds the degenerate spec for a flat Poisson stream over
+// the scenario's model mix — the trace-format expression of
+// workload.Generate's setting (the draw sequences differ, but the
+// distribution is the same).
+func Stationary(sc workload.Scenario, level workload.QoSLevel, qps float64, n int, seed int64) *Spec {
+	return &Spec{
+		Version:     FormatVersion,
+		Name:        sc.Name + "-stationary",
+		Models:      sc.Models,
+		QoS:         level.Name,
+		Seed:        seed,
+		HorizonS:    float64(n)/qps*4 + 1, // generous horizon; MaxRequests ends the stream
+		BaseQPS:     qps,
+		MaxRequests: n,
+	}
+}

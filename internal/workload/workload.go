@@ -107,11 +107,37 @@ type Request struct {
 	Work float64
 }
 
+// NewRequest is the single arrival-emission path shared by the
+// stationary generator below and the trace replayer
+// (internal/workload/trace): given an arrival instant, model, and
+// priority, it assigns the QoS bound, domain, and deadline exactly one
+// way. Every request that enters a serving layer is built here, so the
+// deadline/priority semantics cannot drift between workload sources.
+func NewRequest(id int, t float64, model string, prio int, level QoSLevel) (Request, error) {
+	base, ok := BaseQoSSeconds[model]
+	if !ok {
+		return Request{}, fmt.Errorf("workload: no QoS bound for model %q", model)
+	}
+	qos := base * level.Scale
+	return Request{
+		ID:       id,
+		Model:    model,
+		Domain:   domainOf(model),
+		Arrival:  t,
+		Priority: prio,
+		QoS:      qos,
+		Deadline: t + qos,
+		Level:    level.Name,
+	}, nil
+}
+
 // Generate draws n requests from the scenario at mean rate qps under the
 // QoS level, deterministically from seed. Arrivals are Poisson
 // (exponential interarrivals), models uniform over the scenario mix,
 // priorities uniform in 1..11 (following the Google-trace analysis the
-// paper cites).
+// paper cites). A stationary Poisson stream is the degenerate case of
+// the trace format (flat rate curve, no crowds, no skew); this helper
+// keeps the historical draw order so existing seeds reproduce.
 func Generate(sc Scenario, level QoSLevel, qps float64, n int, seed int64) ([]Request, error) {
 	if len(sc.Models) == 0 {
 		return nil, fmt.Errorf("workload: scenario %q has no models", sc.Name)
@@ -125,21 +151,11 @@ func Generate(sc Scenario, level QoSLevel, qps float64, n int, seed int64) ([]Re
 	for i := 0; i < n; i++ {
 		t += rng.ExpFloat64() / qps
 		model := sc.Models[rng.Intn(len(sc.Models))]
-		base, ok := BaseQoSSeconds[model]
-		if !ok {
-			return nil, fmt.Errorf("workload: no QoS bound for model %q", model)
+		r, err := NewRequest(i, t, model, rng.Intn(11)+1, level)
+		if err != nil {
+			return nil, err
 		}
-		qos := base * level.Scale
-		reqs = append(reqs, Request{
-			ID:       i,
-			Model:    model,
-			Domain:   domainOf(model),
-			Arrival:  t,
-			Priority: rng.Intn(11) + 1,
-			QoS:      qos,
-			Deadline: t + qos,
-			Level:    level.Name,
-		})
+		reqs = append(reqs, r)
 	}
 	return reqs, nil
 }
