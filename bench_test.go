@@ -285,6 +285,32 @@ func BenchmarkServeInstance(b *testing.B) {
 	}
 }
 
+// BenchmarkServeElastic measures the same 150-request serving
+// simulation with the runtime re-fission loop enabled, so the elastic
+// policy's scheduling overhead is tracked next to the spatial baseline.
+func BenchmarkServeElastic(b *testing.B) {
+	reqs, err := GenerateWorkload(Scenarios()[2], QoSMedium, 100, 150, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc, err := NewElasticAccelerator(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range ModelNames() {
+		if err := acc.Deploy(MustModel(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Serve(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablation benchmarks (design-choice studies from DESIGN.md) ----------
 
 // BenchmarkAblationSchedulers compares Algorithm 1 against equal-share

@@ -148,6 +148,7 @@ func run() int {
 	staticsSpec := flag.String("statics", "", "comma-separated static fleet sizes for the autoscale experiment (default 1,2,3)")
 	ceiling := flag.Int("ceiling", 0, "autoscaled fleet slot ceiling for the autoscale experiment (default 6)")
 	autoscaleOut := flag.String("autoscale-out", "", "write the autoscale experiment's BENCH_autoscale.json artifact to this file")
+	elastic := flag.Bool("elastic", false, "add the elastic re-fission system as an extra axis in the cluster, autoscale, and ablation experiments")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	phasestats := flag.Bool("phasestats", false, "report per-phase wall-clock and allocations on stderr")
@@ -310,6 +311,13 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Println(experiments.FormatPenaltySensitivity(workload.ScenarioC(), workload.QoSMedium, prows))
+		if *elastic {
+			erows, err := suite.ElasticAblation(workload.ScenarioB(), workload.QoSHard, nil)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Println(experiments.FormatElasticAblation(erows))
+		}
 		phases.mark("ablation")
 	}
 	if want["trace"] {
@@ -326,7 +334,7 @@ func run() int {
 	}
 	if want["cluster"] {
 		if err := runCluster(suite, *scenario, *qosName, *chipsSpec, *policySpec,
-			*batchWindow, *maxBatch, *clusterOut, *requests, *instances, *seed); err != nil {
+			*batchWindow, *maxBatch, *clusterOut, *requests, *instances, *seed, *elastic); err != nil {
 			return fail(err)
 		}
 		phases.mark("cluster")
@@ -339,7 +347,7 @@ func run() int {
 		phases.mark("attrib")
 	}
 	if want["autoscale"] {
-		if err := runAutoscale(suite, *traceFile, *staticsSpec, *ceiling, *autoscaleOut); err != nil {
+		if err := runAutoscale(suite, *traceFile, *staticsSpec, *ceiling, *autoscaleOut, *elastic); err != nil {
 			return fail(err)
 		}
 		phases.mark("autoscale")
@@ -496,7 +504,7 @@ func parsePolicies(spec string) ([]string, error) {
 // runCluster executes the multi-chip serving sweep and prints the
 // scale-out table.
 func runCluster(suite *experiments.Suite, scenario, qosName, chipsSpec, policySpec string,
-	batchWindow float64, maxBatch int, clusterOut string, requests, instances int, seed int64) error {
+	batchWindow float64, maxBatch int, clusterOut string, requests, instances int, seed int64, elastic bool) error {
 	sc, err := scenarioByName(scenario)
 	if err != nil {
 		return err
@@ -509,6 +517,7 @@ func runCluster(suite *experiments.Suite, scenario, qosName, chipsSpec, policySp
 	o.Scenario, o.Level = sc, lvl
 	o.Opt = metrics.Options{Requests: requests, Instances: instances, Seed: seed}
 	o.BatchWindow, o.MaxBatch = batchWindow, maxBatch
+	o.Elastic = elastic
 	if chipsSpec != "" {
 		if o.Chips, err = parseChips(chipsSpec); err != nil {
 			return err
@@ -573,8 +582,9 @@ func runAttrib(suite *experiments.Suite, scenario string, rate, batchWindow floa
 // runAutoscale replays the planet-scale trace against static fleets and
 // the autoscaled one, printing the SLA-versus-chip-hours table.
 func runAutoscale(suite *experiments.Suite, traceFile, staticsSpec string,
-	ceiling int, autoscaleOut string) error {
+	ceiling int, autoscaleOut string, elastic bool) error {
 	o := experiments.DefaultAutoscaleOptions()
+	o.Elastic = elastic
 	if traceFile != "" {
 		data, err := os.ReadFile(traceFile)
 		if err != nil {

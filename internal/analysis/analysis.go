@@ -165,6 +165,10 @@ var DeterministicPackages = map[string]bool{
 	// The shared simulated-time comparisons (epsilon discipline) back
 	// every scheduling decision above.
 	"simtime": true,
+	// The elastic re-fission planner decides every between-tile re-split
+	// from candidate state alone; a clock or global RNG here would make
+	// EvRefission traces — compared byte-for-byte across runs — drift.
+	"refission": true,
 }
 
 // annotations maps source lines to //det:<marker>-ok annotation reasons

@@ -17,7 +17,7 @@ func TestMapOrder(t *testing.T) {
 }
 
 func TestNoClock(t *testing.T) {
-	analysistest.Run(t, "testdata", analysis.NoClock, "sim", "obs", "fault", "trace")
+	analysistest.Run(t, "testdata", analysis.NoClock, "sim", "obs", "fault", "trace", "refission")
 }
 
 func TestParOrder(t *testing.T) {

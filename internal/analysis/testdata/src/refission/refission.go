@@ -1,0 +1,33 @@
+// Package refission is a noclock fixture: the elastic re-fission
+// planner is a deterministic package — a re-split decision must follow
+// from the candidate set alone, never from the wall clock or the
+// process-wide RNG, or the EvRefission traces compared byte-for-byte
+// across runs would drift.
+package refission
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClockDeadband widens the donation deadband by the wall clock.
+func WallClockDeadband(margin float64) float64 {
+	return margin + float64(time.Now().UnixNano())*1e-9 // want `time\.Now in deterministic package "refission"`
+}
+
+// GlobalRandTieBreak breaks a donor tie with the process-wide generator.
+func GlobalRandTieBreak(a, b int) int {
+	if rand.Intn(2) == 0 { // want `global math/rand\.Intn`
+		return a
+	}
+	return b
+}
+
+// ScoreOrder is the sanctioned pattern: ties break by task ID, a pure
+// function of the candidate set.
+func ScoreOrder(scoreA, scoreB float64, idA, idB int) bool {
+	if scoreA != scoreB {
+		return scoreA > scoreB
+	}
+	return idA < idB
+}

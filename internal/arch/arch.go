@@ -95,6 +95,25 @@ func (c Config) BytesPerCycle() float64 {
 	return c.DRAMBandwidthGBs * 1e9 / c.CyclesPerSecond()
 }
 
+// ConfigSwapCycles returns the cycles to bring n subarrays onto a new
+// task's configuration outside a drain-and-checkpoint preemption: one
+// cycle per subarray to swap the double-buffered configuration
+// registers, plus the per-subarray instruction-buffer prefetch through
+// the aggregate DRAM bandwidth (§IV-C). The elastic re-fission hook
+// charges this when it grows a stalled task into freed subarrays
+// mid-run; it is what makes a grow decision non-free and keeps the
+// planner honest about churn.
+func (c Config) ConfigSwapCycles(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	bpc := c.BytesPerCycle()
+	if bpc <= 0 {
+		return int64(n)
+	}
+	return int64(n) + int64(float64(n)*float64(c.InstrBufBytes)/bpc)
+}
+
 // WeightBufPerSubarray returns the weight-buffer capacity private to one
 // subarray; weight buffers live inside the PEs, so they partition evenly.
 func (c Config) WeightBufPerSubarray() int64 {

@@ -63,6 +63,67 @@ func withPolicy(sys metrics.System, newPolicy func() sim.Policy) metrics.System 
 	return sys
 }
 
+// ElasticRow is one elastic re-fission ablation point: the cluster's
+// maximum SLA-meeting arrival rate with runtime re-fission on or off at
+// the same chip count.
+type ElasticRow struct {
+	Workload string  `json:"workload"`
+	QoS      string  `json:"qos"`
+	Chips    int     `json:"chips"`
+	Elastic  bool    `json:"elastic"`
+	MaxQPS   float64 `json:"max_qps"`
+}
+
+// ElasticAblation isolates the elastic re-fission control loop's
+// contribution (DESIGN.md §16): the same fission hardware, compiled
+// programs, and least-work balancing, with and without between-tile
+// grow/shrink, at each chip count. The headline claim under test:
+// elastic-on sustains a higher SLA-meeting arrival rate at equal chips,
+// because arrivals that Algorithm 1 would queue are absorbed into
+// headroom donated by SLA-beating tenants.
+func (s *Suite) ElasticAblation(sc workload.Scenario, lvl workload.QoSLevel, chips []int) ([]ElasticRow, error) {
+	if len(chips) == 0 {
+		chips = []int{1, 2}
+	}
+	o := ClusterOptions{Scenario: sc, Level: lvl, Opt: s.Opt}
+	variants := []struct {
+		sys     metrics.System
+		elastic bool
+	}{
+		{s.Planaria, false},
+		{s.Elastic, true},
+	}
+	var rows []ElasticRow
+	for _, c := range chips {
+		for _, v := range variants {
+			qps, err := clusterMaxQPS(v.sys, o, c, "least-work")
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ElasticRow{
+				Workload: sc.Name, QoS: lvl.Name,
+				Chips: c, Elastic: v.elastic, MaxQPS: qps,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatElasticAblation renders the elastic on/off comparison.
+func FormatElasticAblation(rows []ElasticRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — elastic re-fission (max SLA-meeting QPS, least-work balancing)\n")
+	fmt.Fprintf(&b, "%-12s %-6s %6s %-8s %10s\n", "workload", "qos", "chips", "elastic", "max qps")
+	for _, r := range rows {
+		on := "off"
+		if r.Elastic {
+			on = "on"
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %6d %-8s %10.1f\n", r.Workload, r.QoS, r.Chips, on, r.MaxQPS)
+	}
+	return b.String()
+}
+
 // FormatSchedulerAblation renders the policy ablation.
 func FormatSchedulerAblation(rows []PolicyRow) string {
 	var b strings.Builder

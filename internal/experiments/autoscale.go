@@ -36,6 +36,9 @@ type AutoscaleOptions struct {
 	Scale cluster.Autoscale
 	// Policy names the load balancer (empty = least-work).
 	Policy string
+	// Elastic serves the trace with the elastic re-fission scheduler
+	// (DESIGN.md §16) instead of plain spatial fission on every chip.
+	Elastic bool
 }
 
 // DefaultAutoscaleOptions is the artifact configuration: static fleets
@@ -130,8 +133,12 @@ type AutoscaleRow struct {
 
 // autoscaleEval runs one fleet configuration over the shared stream.
 func autoscaleEval(s *Suite, o AutoscaleOptions, spec *trace.Spec, reqs []workload.Request, chips int, scale *cluster.Autoscale) (AutoscaleRow, error) {
+	sys := s.Planaria
+	if o.Elastic {
+		sys = s.Elastic
+	}
 	cfg := cluster.Config{
-		System: s.Planaria,
+		System: sys,
 		Chips:  chips,
 		Policy: o.Policy,
 		Shed:   sim.ShedPriority,
@@ -254,11 +261,12 @@ func AutoscaleJSON(o AutoscaleOptions, rows []AutoscaleRow) ([]byte, error) {
 		BootS     float64        `json:"boot_s"`
 		IntervalS float64        `json:"interval_s"`
 		Policy    string         `json:"policy,omitempty"`
+		Elastic   bool           `json:"elastic,omitempty"`
 		Rows      []AutoscaleRow `json:"rows"`
 	}{
 		Trace: spec, Statics: o.Statics, Chips: o.Chips,
 		BootS: o.Scale.BootS, IntervalS: o.Scale.IntervalS,
-		Policy: o.Policy, Rows: rows,
+		Policy: o.Policy, Elastic: o.Elastic, Rows: rows,
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)

@@ -30,6 +30,10 @@ type ClusterOptions struct {
 	// every cell (0 disables).
 	BatchWindow float64
 	MaxBatch    int
+	// Elastic adds the elastic re-fission system (DESIGN.md §16) as a
+	// third sweep axis next to Planaria and PREMA — same fission
+	// hardware, runtime grow/shrink between tiles.
+	Elastic bool
 	// Opt carries requests/instances/seed, as in the other sweeps.
 	Opt metrics.Options
 }
@@ -177,6 +181,9 @@ func (s *Suite) ClusterSweep(o ClusterOptions) ([]ClusterRow, error) {
 		}
 	}
 	systems := []metrics.System{s.Planaria, s.PREMA}
+	if o.Elastic {
+		systems = append(systems, s.Elastic)
+	}
 	rows := make([]ClusterRow, len(systems)*len(o.Chips)*len(o.Policies))
 	errs := make([]error, len(rows))
 	par.ForEach(len(rows), func(i int) {
@@ -234,13 +241,14 @@ func ClusterJSON(o ClusterOptions, rows []ClusterRow) ([]byte, error) {
 		QoS         string       `json:"qos"`
 		BatchWindow float64      `json:"batch_window_s"`
 		MaxBatch    int          `json:"max_batch"`
+		Elastic     bool         `json:"elastic,omitempty"`
 		Requests    int          `json:"requests"`
 		Instances   int          `json:"instances"`
 		Seed        int64        `json:"seed"`
 		Rows        []ClusterRow `json:"rows"`
 	}{
 		Scenario: o.Scenario.Name, QoS: o.Level.Name,
-		BatchWindow: o.BatchWindow, MaxBatch: o.MaxBatch,
+		BatchWindow: o.BatchWindow, MaxBatch: o.MaxBatch, Elastic: o.Elastic,
 		Requests: o.Opt.Requests, Instances: o.Opt.Instances, Seed: o.Opt.Seed,
 		Rows: rows,
 	}

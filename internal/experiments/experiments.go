@@ -29,7 +29,12 @@ import (
 type Suite struct {
 	Planaria metrics.System
 	PREMA    metrics.System
-	Opt      metrics.Options
+	// Elastic is the Planaria hardware under the elastic re-fission
+	// scheduler (DESIGN.md §16): same chip, same compiled programs, the
+	// spatial policy wrapped with QoS-headroom grow/shrink between tiles.
+	// The cluster and autoscale sweeps add it as an ablation axis.
+	Elastic metrics.System
+	Opt     metrics.Options
 
 	mu         sync.Mutex            // guards throughput
 	throughput map[string][2]float64 // scenario|qos → {planaria, prema}
@@ -77,6 +82,10 @@ func NewSuite() (*Suite, error) {
 		PREMA: metrics.System{
 			Name: "PREMA", Cfg: mono, Programs: progsM, Params: energy.Default(),
 			NewPolicy: func() sim.Policy { return prema.NewToken(mono) },
+		},
+		Elastic: metrics.System{
+			Name: "Planaria-Elastic", Cfg: pl, Programs: progsP, Params: energy.Default(),
+			NewPolicy: func() sim.Policy { return sched.NewElastic(pl) },
 		},
 		Opt:        metrics.Options{Requests: 400, Instances: 3, Seed: 1},
 		throughput: make(map[string][2]float64),

@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"planaria/internal/arch"
+	"planaria/internal/obs"
+	"planaria/internal/refission"
+	"planaria/internal/sim"
+)
+
+// Elastic wraps the spatial scheduler with runtime re-fission
+// (DESIGN.md §16): between the ordinary scheduling events it measures
+// every in-flight task's QoS headroom — projected finish versus
+// deadline at the current allocation — and re-splits the chip at the
+// next tile boundary, shrinking tasks that are beating their SLA to
+// absorb an arrival and growing starved tasks into freed subarrays,
+// instead of queueing, shedding, or fully preempting. With Disabled
+// set, every call delegates verbatim to the wrapped Spatial policy and
+// the engine never takes a re-fission wakeup, so a disabled Elastic is
+// byte-identical to plain Spatial (the conformance suite pins this).
+type Elastic struct {
+	// Disabled turns the policy into a pass-through to Spatial.
+	Disabled bool
+	// HeadroomFrac is the comfort deadband as a fraction of the QoS
+	// window: a task donates eagerly (in the planner's rebalance pass and
+	// ahead of tighter donors) only while its projected finish beats the
+	// deadline by at least HeadroomFrac × (deadline − arrival). Hard QoS
+	// levels leave nobody clearing a wide band, so the default is a thin
+	// 0.1% — enough to absorb the shrink's own drain/checkpoint penalty
+	// without freezing every spare in place. Zero means the NewElastic
+	// default (0.001).
+	HeadroomFrac float64
+	// MinIntervalS floors the spacing between re-fission wakeups so a
+	// persistently starved queue cannot thrash the chip with
+	// reconfigurations. Zero means the NewElastic default (200 µs).
+	MinIntervalS float64
+
+	sp      *Spatial
+	planner refission.Planner
+	cands   []refission.Candidate
+	rem     []int64
+}
+
+// NewElastic returns the elastic policy for a hardware configuration.
+func NewElastic(cfg arch.Config) *Elastic {
+	return &Elastic{sp: NewSpatial(cfg), HeadroomFrac: 0.001, MinIntervalS: 200e-6}
+}
+
+// Name implements sim.Policy.
+func (e *Elastic) Name() string {
+	if e.Disabled {
+		return e.sp.Name()
+	}
+	return "Planaria-Elastic"
+}
+
+// Quantum implements sim.Policy: like Spatial the policy is
+// event-driven; its extra invocations come from NextRefission wakeups,
+// not a fixed quantum.
+func (e *Elastic) Quantum() float64 { return 0 }
+
+// SetObserver implements obs.Observable by delegating to the wrapped
+// spatial scheduler — elastic decisions count as fission decisions on
+// the same counters, keeping the fit/unfit split comparable across the
+// ablation.
+func (e *Elastic) SetObserver(o *obs.Observer) { e.sp.SetObserver(o) }
+
+// SetOccupancy implements obs.OccupancyAware by delegation.
+func (e *Elastic) SetOccupancy(o *obs.Occupancy) { e.sp.SetOccupancy(o) }
+
+// SetHealth implements sim.HealthAware by delegation: the planner's
+// capacity and chain caps follow the live fault mask.
+func (e *Elastic) SetHealth(mask arch.HealthMask) { e.sp.SetHealth(mask) }
+
+// RefissionActive implements sim.Refissioner.
+func (e *Elastic) RefissionActive() bool { return !e.Disabled }
+
+// headroomFrac returns the effective deadband fraction.
+func (e *Elastic) headroomFrac() float64 {
+	if e.HeadroomFrac > 0 {
+		return e.HeadroomFrac
+	}
+	return 0.001
+}
+
+// minInterval returns the effective wakeup floor.
+func (e *Elastic) minInterval() float64 {
+	if e.MinIntervalS > 0 {
+		return e.MinIntervalS
+	}
+	return 200e-6
+}
+
+// Allocate implements sim.Policy by delegating to AllocateInto, exactly
+// like Spatial.Allocate.
+func (e *Elastic) Allocate(now float64, tasks []*sim.Task, total int) map[int]int {
+	if len(tasks) == 0 {
+		return nil
+	}
+	dst := make([]int, len(tasks))
+	e.AllocateInto(now, tasks, total, dst)
+	alloc := make(map[int]int, len(tasks))
+	for i, t := range tasks {
+		if dst[i] > 0 {
+			alloc[t.ID] = dst[i]
+		}
+	}
+	return alloc
+}
+
+// AllocateInto implements sim.SliceAllocator. Disabled, it is the
+// spatial scheduler's decision bit for bit. Enabled, it prices every
+// candidate subarray count per task in one configuration-table pass,
+// derives each task's minimum (ESTIMATERESOURCES), headroom, and
+// urgency score, and hands the whole set to the re-fission planner —
+// which keeps current allocations wherever feasible, so steady state
+// re-issues the same plan and the engine applies no reallocation.
+//
+//perf:hot per-event scheduling decision on the engine's zero-alloc fast path
+func (e *Elastic) AllocateInto(now float64, tasks []*sim.Task, total int, dst []int) {
+	if e.Disabled {
+		e.sp.AllocateInto(now, tasks, total, dst)
+		return
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	s := e.sp
+	if s.cps == 0 {
+		s.cps = s.Cfg.CyclesPerSecond()
+	}
+	cps := s.cps
+	maxA := s.chainCap(total)
+	hf := e.headroomFrac()
+	if cap(e.cands) < len(tasks) {
+		e.cands = make([]refission.Candidate, 0, len(tasks))
+	}
+	cands := e.cands[:0]
+	demand := 0
+	for _, t := range tasks {
+		e.rem = t.RemainingCyclesByAlloc(e.rem)
+		rem := e.rem
+		slack := t.Slack(now)
+		// The minimum allocation meeting the deadline: the per-alloc
+		// remaining-cycles row replaces EstimateResources' repeated
+		// table lookups but chooses the identical n.
+		mn := 0
+		for n := 1; n <= total; n++ {
+			eff := s.chainCap(n)
+			if eff > len(rem) {
+				eff = len(rem)
+			}
+			if float64(rem[eff-1])/cps <= slack {
+				mn = n
+				break
+			}
+		}
+		doomed := mn == 0
+		if doomed {
+			// No allocation meets the deadline, so the task's floor is a
+			// single subarray: any progress reduces tardiness, and a
+			// demand of Max would leave it waiting for a fully idle chip
+			// while crumbs of capacity go unused.
+			mn = 1
+		}
+		headroom := 0.0
+		if t.Alloc > 0 {
+			eff := s.chainCap(t.Alloc)
+			if eff > len(rem) {
+				eff = len(rem)
+			}
+			headroom = slack - float64(rem[eff-1])/cps
+		}
+		scSlack := slack
+		if doomed {
+			// A task no allocation can save must not outscore meetable
+			// work: an expired deadline drives slack toward the floor and
+			// the score toward infinity, and the planner would evict a
+			// task that can still win for one that has already lost.
+			// Score it by the best it can do instead.
+			eff := maxA
+			if eff > len(rem) {
+				eff = len(rem)
+			}
+			if best := float64(rem[eff-1]) / cps; scSlack < best {
+				scSlack = best
+			}
+		}
+		if scSlack < s.MinSlack {
+			scSlack = s.MinSlack
+		}
+		d := mn
+		if doomed {
+			// Score against the full-chip demand the spatial estimator
+			// would report, not the one-subarray floor — a doomed task
+			// keeps its low urgency and never evicts meetable work.
+			d = maxA
+		}
+		if d < 1 {
+			d = 1
+		}
+		cands = append(cands, refission.Candidate{
+			ID:       t.ID,
+			Cur:      t.Alloc,
+			Min:      mn,
+			Max:      maxA,
+			Score:    float64(t.Req.Priority) / (scSlack * float64(d)),
+			Headroom: headroom,
+			Margin:   hf * (t.Req.Deadline - t.Req.Arrival),
+		})
+		demand += mn
+	}
+	e.cands = cands
+	s.cDecisions.Inc()
+	fit := demand <= total
+	if fit {
+		s.cFit.Inc()
+	} else {
+		s.cUnfit.Inc()
+	}
+	s.occ.NoteDecision(fit, int64(demand), int64(total))
+	if s.tracer != nil {
+		verdict := "fit"
+		if !fit {
+			verdict = "unfit"
+		}
+		s.tracer.Instant("sched", fmt.Sprintf("elastic: %s %d tasks", verdict, len(tasks)), now,
+			obs.Num("tasks", float64(len(tasks))),
+			obs.Num("demand", float64(demand)),
+			obs.Num("subarrays", float64(total)))
+	}
+	e.planner.Plan(cands, total, dst)
+}
+
+// NextRefission implements sim.Refissioner: it returns the next tile
+// boundary worth a re-split — the earliest boundary of any running task
+// while some live task is fully stalled at zero subarrays — floored at
+// MinIntervalS past now so reconfiguration cannot thrash, or +Inf when
+// the current fission needs no revisit.
+func (e *Elastic) NextRefission(now float64, tasks []*sim.Task, total int) float64 {
+	if e.Disabled || total <= 0 || len(tasks) == 0 {
+		return math.Inf(1)
+	}
+	s := e.sp
+	if s.cps == 0 {
+		s.cps = s.Cfg.CyclesPerSecond()
+	}
+	cps := s.cps
+	starved := false
+	for _, t := range tasks {
+		if t.Done() {
+			continue
+		}
+		// Only a true stall (no subarrays at all) is worth a wakeup:
+		// an under-allocated running task re-competes at the next
+		// ordinary scheduling event anyway, and growing it mid-flight
+		// charges it the reallocation penalty it is trying to outrun.
+		if t.Alloc == 0 {
+			starved = true
+			break
+		}
+	}
+	if !starved {
+		return math.Inf(1)
+	}
+	earliest := math.Inf(1)
+	for _, t := range tasks {
+		if t.Alloc <= 0 {
+			continue
+		}
+		if b := now + float64(t.TileBoundaryCycles())/cps; b < earliest {
+			earliest = b
+		}
+	}
+	if math.IsInf(earliest, 1) {
+		return earliest
+	}
+	if floor := now + e.minInterval(); earliest < floor {
+		earliest = floor
+	}
+	return earliest
+}
+
+var _ sim.Policy = (*Elastic)(nil)
+var _ sim.SliceAllocator = (*Elastic)(nil)
+var _ sim.Refissioner = (*Elastic)(nil)
+var _ obs.Observable = (*Elastic)(nil)
+var _ sim.HealthAware = (*Elastic)(nil)

@@ -51,6 +51,34 @@ func TestTraceReserveAmortizes(t *testing.T) {
 	}
 }
 
+// TestRefissionOffRunAllocParity pins the elastic-off fast path: a
+// policy that implements Refissioner but reports inactive must drive
+// Run with zero extra allocations over the identical plain policy — the
+// re-fission machinery costs nothing unless it is switched on.
+func TestRefissionOffRunAllocParity(t *testing.T) {
+	nodeP, prog := testNode(t, nil)
+	iso := nodeP.Cfg.Seconds(prog.Table(16).TotalCycles)
+	reqs := refissionReqs(iso)
+	nodeP.Policy = &splitPolicy{at: iso * 0.5}
+	nodeE, _ := testNode(t, nil)
+	nodeE.Policy = &stubRefission{splitPolicy{at: iso * 0.5}, false}
+	run := func(n *Node) {
+		if _, err := n.Run(reqs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the scratch pool and program tables so both measurements see
+	// steady state.
+	run(nodeP)
+	run(nodeE)
+	aPlain := testing.AllocsPerRun(100, func() { run(nodeP) })
+	aElastic := testing.AllocsPerRun(100, func() { run(nodeE) })
+	if aElastic > aPlain {
+		t.Fatalf("inactive refissioner run allocates %.1f/op, plain policy %.1f/op (want 0 extra)",
+			aElastic, aPlain)
+	}
+}
+
 // TestRetryHeapOrder checks the heap against the sorted-slice queue it
 // replaced: pop order must equal a stable sort by (at, task ID), with
 // task ID breaking timestamp ties (IDs are unique, so the order is

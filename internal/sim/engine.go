@@ -50,6 +50,11 @@ type Outcome struct {
 	Fairness float64
 	// Preemptions counts allocation changes of running tasks.
 	Preemptions int
+	// Refissions counts elastic re-fission resizes: allocation changes
+	// applied at a Refissioner-scheduled wakeup rather than an arrival,
+	// completion, quantum, or fault event. Always zero unless the policy
+	// implements Refissioner and has it active.
+	Refissions int
 	// MeetsSLA reports the MLPerf server criterion over this instance.
 	MeetsSLA bool
 
@@ -542,6 +547,25 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 	// returning a fresh map per event.
 	sliceAlloc, fastPolicy := n.Policy.(SliceAllocator)
 
+	// Elastic re-fission (DESIGN.md §16): an active Refissioner policy
+	// gets scheduling wakeups at tile boundaries it asks for, so it can
+	// re-split the chip between the ordinary events. Everything below is
+	// behind the one-time `elastic` flag — an inactive or non-Refissioner
+	// policy runs the historical event loop bit-identically, and the
+	// refission counters are not even registered.
+	var refis Refissioner
+	elastic := false
+	if r, ok := n.Policy.(Refissioner); ok && r.RefissionActive() {
+		refis, elastic = r, true
+	}
+	var cRefis, cRefisGrow, cRefisShrink *obs.Counter
+	if elastic {
+		cRefis = reg.Counter("sim_refissions_total")
+		cRefisGrow = reg.Counter("sim_refission_grows_total")
+		cRefisShrink = reg.Counter("sim_refission_shrinks_total")
+	}
+	refAt := math.Inf(1)
+
 	for iter := 0; ; iter++ {
 		if iter > maxIter {
 			return nil, fmt.Errorf("sim: exceeded %d events (livelock?) at t=%.9f: %d tasks, %d retries queued, %d/%d arrivals admitted",
@@ -564,6 +588,9 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				// until the next arrival or retry wakes it.
 				occ.Interval(int64(math.Ceil((wake-now)*cps)), 0, 0, int64(total-n.capacity(total)))
 			}
+			// The queue emptied, so any pending re-fission wakeup is moot;
+			// clear it so the jump target cannot coincide with a stale one.
+			refAt = math.Inf(1)
 			now = wake
 			applyFaults()
 			if err := admit(); err != nil {
@@ -573,6 +600,10 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		}
 		sp := n.speed()
 		capNow := n.capacity(total)
+		// This iteration is a re-fission instant iff the loop woke exactly
+		// at the Refissioner's requested time (next-event selection below
+		// folds refAt into the minimum, so equality is exact).
+		atRef := elastic && now == refAt
 		if capNow == 0 || sp == 0 {
 			// Every subarray is masked: nothing can run until a repair,
 			// which is the only event that can change capacity.
@@ -671,7 +702,38 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 				if tracing {
 					n.Trace.record(Event{Time: now, Kind: EvAlloc, Task: t.ID, Model: t.Req.Model, Alloc: na})
 				}
-				if t.Alloc > 0 && !t.Done() {
+				wasRunning := t.Alloc > 0 && !t.Done()
+				if atRef && !t.Done() {
+					// An elastic resize at a tile boundary: grow a starved
+					// task into freed subarrays or shrink an SLA-beating
+					// donor. Recorded as EvRefission instead of EvPreempt;
+					// the preemption counter still ticks for running tasks
+					// (applyRealloc charges them and bumps Preemptions).
+					if tracing {
+						n.Trace.record(Event{Time: now, Kind: EvRefission, Task: t.ID, Model: t.Req.Model, Alloc: na})
+					}
+					cRefis.Inc()
+					if na > t.Alloc {
+						cRefisGrow.Inc()
+					} else {
+						cRefisShrink.Inc()
+					}
+					out.Refissions++
+					if wasRunning {
+						cPreempt.Inc()
+					} else if na > 0 {
+						// Growing a stalled task mid-run is not free: the
+						// freed subarrays swap in its configuration and
+						// prefetch its instructions (§IV-C) before work
+						// resumes. Ordinary-event dispatches of queued tasks
+						// stay free, exactly as before.
+						t.PenaltyCycles += int64(float64(n.Cfg.ConfigSwapCycles(na)) * penScale)
+					}
+					if tracer != nil {
+						tracer.Instant("sched", fmt.Sprintf("refission task %d -> %d", t.ID, na), now,
+							obs.Str("model", t.Req.Model), obs.Num("subarrays", float64(na)))
+					}
+				} else if wasRunning {
 					// A running task's allocation changed: a preemption
 					// (full, on PREMA's context switch; partial, on a
 					// Planaria re-fission).
@@ -769,6 +831,17 @@ func (n *Node) Run(reqs []workload.Request) (*Outcome, error) {
 		}
 		if retryQ.Len() > 0 && retryQ.peek().at < next {
 			next = retryQ.peek().at
+		}
+		if elastic {
+			// The Refissioner names the next tile boundary worth a
+			// re-split (+Inf when the current fission needs no revisit);
+			// fold it into the minimum so the loop wakes exactly there.
+			refAt = refis.NextRefission(now, tasks, capNow)
+			if refAt <= now {
+				refAt = math.Inf(1)
+			} else if refAt < next {
+				next = refAt
+			}
 		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("sim: no next event with %d tasks active", len(tasks))

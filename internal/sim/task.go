@@ -91,6 +91,66 @@ func (t *Task) RemainingCycles(alloc int) int64 {
 	return rem + t.PenaltyCycles
 }
 
+// RemainingCyclesByAlloc writes the cycles left at every candidate
+// allocation 1..MaxAlloc into out[a-1] (out is extended if too short)
+// and returns out. Each entry is bit-identical to RemainingCycles(a) —
+// the elastic policy prices all subarray counts in one pass per task.
+func (t *Task) RemainingCyclesByAlloc(out []int64) []int64 {
+	if t.Done() {
+		n := t.Prog.MaxAlloc()
+		if cap(out) < n {
+			out = make([]int64, n)
+		}
+		out = out[:n]
+		for i := range out {
+			out[i] = t.PenaltyCycles
+		}
+		return out
+	}
+	out = t.Prog.RemainingByAlloc(t.Layer, t.Frac, out)
+	s := t.workScale()
+	for i, rem := range out {
+		if s != 1 {
+			rem = int64(float64(rem) * s)
+		}
+		out[i] = rem + t.PenaltyCycles
+	}
+	return out
+}
+
+// TileBoundaryCycles returns the cycles until the task next crosses a
+// tile boundary at its current allocation — the natural re-fission
+// instant (§V: reconfiguration happens between tiles, so only one tile
+// of intermediate state ever drains). Outstanding penalty work is paid
+// first; a stalled task has no boundary and returns 0.
+func (t *Task) TileBoundaryCycles() int64 {
+	if t.Alloc <= 0 {
+		return 0
+	}
+	if t.Done() {
+		return t.PenaltyCycles
+	}
+	tab := t.Prog.Table(t.Alloc)
+	lp := &tab.Layers[t.Layer]
+	if lp.Tiles <= 0 {
+		return t.PenaltyCycles + 1
+	}
+	tiles := float64(lp.Tiles)
+	boundary := float64(int64(t.Frac*tiles)+1) / tiles
+	if boundary > 1 {
+		boundary = 1
+	}
+	layerCycles := float64(lp.Cycles)
+	if s := t.workScale(); s != 1 {
+		layerCycles *= s
+	}
+	rem := int64((boundary - t.Frac) * layerCycles)
+	if rem < 1 {
+		rem = 1
+	}
+	return rem + t.PenaltyCycles
+}
+
 // Slack returns the time remaining until the task's deadline.
 func (t *Task) Slack(now float64) float64 {
 	return t.Req.Deadline - now
@@ -226,6 +286,22 @@ type Policy interface {
 	// Quantum returns the re-scheduling period while tasks are waiting
 	// (0 = event-driven only).
 	Quantum() float64
+}
+
+// Refissioner is an optional extension of Policy for elastic runtime
+// re-fission (DESIGN.md §16). When a policy implements it and
+// RefissionActive reports true, the engine adds a scheduling wakeup at
+// NextRefission's time: the policy is re-invoked there even though no
+// arrival, completion, quantum, or fault fires, letting it re-split the
+// chip at a running task's tile boundary. NextRefission returns the
+// absolute sim time of the next useful re-fission point, or +Inf when
+// the current allocation needs no revisit; it must be strictly after
+// now, deterministic, and side-effect free. RefissionActive is
+// consulted once per Run, so a disabled policy costs nothing on the
+// event loop.
+type Refissioner interface {
+	RefissionActive() bool
+	NextRefission(now float64, tasks []*Task, total int) float64
 }
 
 // SliceAllocator is an optional extension of Policy for the engine's

@@ -69,6 +69,12 @@ const (
 	// re-routed: Task is the batch leader's request ID, Depth the source
 	// chip, Unit the destination chip.
 	EvMigrate
+	// EvRefission marks an elastic re-fission: the scheduler resized a
+	// task's allocation at a tile boundary — outside any arrival,
+	// completion, quantum, or fault event — to absorb an arrival or grow
+	// a starved task (Alloc = new subarray count). Emitted instead of
+	// EvPreempt at re-fission instants; only elastic policies produce it.
+	EvRefission
 )
 
 // String names the event kind.
@@ -106,6 +112,8 @@ func (k EventKind) String() string {
 		return "drain"
 	case EvMigrate:
 		return "migrate"
+	case EvRefission:
+		return "refission"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -204,7 +212,7 @@ func (tr *Trace) Validate() error {
 				return fmt.Errorf("sim: task %d arrived twice", e.Task)
 			}
 			arrived[e.Task] = true
-		case EvAlloc, EvPreempt:
+		case EvAlloc, EvPreempt, EvRefission:
 			if !arrived[e.Task] {
 				return fmt.Errorf("sim: task %d allocated before arrival", e.Task)
 			}
@@ -266,7 +274,7 @@ func (tr *Trace) String() string {
 	var b strings.Builder
 	for _, e := range tr.Events {
 		switch e.Kind {
-		case EvAlloc, EvPreempt:
+		case EvAlloc, EvPreempt, EvRefission:
 			fmt.Fprintf(&b, "%9.3f ms  %-7s task %-3d %-16s -> %d subarrays\n",
 				e.Time*1e3, e.Kind, e.Task, e.Model, e.Alloc)
 		case EvQueue:

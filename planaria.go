@@ -152,6 +152,11 @@ const (
 	// TemporalScheduler is the PREMA token baseline (monolithic,
 	// preemptive time sharing).
 	TemporalScheduler
+	// ElasticScheduler is Algorithm 1 plus the runtime re-fission
+	// control loop (DESIGN.md §16): between scheduling events the chip
+	// re-splits at tile boundaries, shrinking SLA-beating tenants to
+	// absorb arrivals and growing starved ones into freed subarrays.
+	ElasticScheduler
 )
 
 // Accelerator is a serving node: a hardware configuration, a scheduling
@@ -167,6 +172,12 @@ type Accelerator struct {
 // configuration.
 func NewAccelerator(cfg Config) (*Accelerator, error) {
 	return newAccelerator(cfg, SpatialScheduler)
+}
+
+// NewElasticAccelerator builds a Planaria node whose spatial scheduler
+// also re-fissions the chip at runtime between scheduling events.
+func NewElasticAccelerator(cfg Config) (*Accelerator, error) {
+	return newAccelerator(cfg, ElasticScheduler)
 }
 
 // NewBaselineAccelerator builds a PREMA-style node: monolithic hardware
@@ -199,7 +210,7 @@ func (a *Accelerator) Deploy(net *Network) error {
 	if _, ok := a.progs[net.Name]; ok {
 		return nil
 	}
-	p, err := compiler.DefaultCache.Program(net, a.cfg, a.kind == SpatialScheduler)
+	p, err := compiler.DefaultCache.Program(net, a.cfg, a.kind != TemporalScheduler)
 	if err != nil {
 		return err
 	}
@@ -237,8 +248,11 @@ func (a *Accelerator) EstimateInference(model string) (InferenceStats, error) {
 
 // policy constructs a fresh scheduling policy for one serving run.
 func (a *Accelerator) policy() sim.Policy {
-	if a.kind == TemporalScheduler {
+	switch a.kind {
+	case TemporalScheduler:
 		return prema.NewToken(a.cfg)
+	case ElasticScheduler:
+		return sched.NewElastic(a.cfg)
 	}
 	return sched.NewSpatial(a.cfg)
 }
